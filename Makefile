@@ -1,0 +1,22 @@
+# Convenience targets for the LiveSec reproduction.
+
+.PHONY: install test bench examples all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/campus_visualization.py
+	python examples/attack_mitigation.py
+	python examples/load_balancing.py
+	python examples/aggregate_flow_control.py
+	python examples/datacenter_fabric.py
+
+all: install test bench

@@ -1,0 +1,79 @@
+"""E1 (Section V.B.1, access throughput).
+
+Paper: "In the situation of UDP flows, single OvS can get up to
+100 Mbps access performance for wired users, and single Pantou can
+reach 43 Mbps for wireless users."
+
+Regenerated rows: UDP goodput of a wired user through one OvS and of
+a wireless user through one OF Wi-Fi AP.
+"""
+
+import sys
+
+from repro import build_livesec_network
+from repro.analysis import format_table, mbps
+from repro.workloads import CbrUdpFlow
+
+from common import GATEWAY_IP, run_once
+
+MEASURE_S = 2.0
+
+
+def _wired_goodput_mbps() -> float:
+    net = build_livesec_network(
+        topology="linear", num_as=2, hosts_per_as=1,
+        access_bandwidth_bps=100e6,
+    )
+    net.start()
+    src = net.host("h1_1")
+    flow = CbrUdpFlow(net.sim, src, GATEWAY_IP, rate_bps=200e6,
+                      packet_size=1500)
+    flow.start()
+    net.run(0.5)  # let the session install and the pipe fill
+    before = flow.delivered_bytes(net.gateway)
+    net.run(MEASURE_S)
+    after = flow.delivered_bytes(net.gateway)
+    flow.stop()
+    return mbps((after - before) * 8, MEASURE_S)
+
+
+def _wireless_goodput_mbps() -> float:
+    net = build_livesec_network(
+        topology="fit", num_ovs=2, num_aps=1,
+        wired_users=0, wireless_users=1,
+    )
+    net.start()
+    src = net.host("wifi1")
+    flow = CbrUdpFlow(net.sim, src, GATEWAY_IP, rate_bps=100e6,
+                      packet_size=1500)
+    flow.start()
+    net.run(0.5)
+    before = flow.delivered_bytes(net.gateway)
+    net.run(MEASURE_S)
+    after = flow.delivered_bytes(net.gateway)
+    flow.stop()
+    return mbps((after - before) * 8, MEASURE_S)
+
+
+def test_e1_access_throughput(benchmark):
+    def experiment():
+        return _wired_goodput_mbps(), _wireless_goodput_mbps()
+
+    wired, wireless = run_once(benchmark, experiment)
+    print(file=sys.stderr)
+    print(
+        format_table(
+            ["access type", "paper (Mbps)", "measured (Mbps)"],
+            [
+                ["wired via single OvS", 100, round(wired, 1)],
+                ["wireless via single Pantou AP", 43, round(wireless, 1)],
+            ],
+            title="E1: access throughput (UDP)",
+        ),
+        file=sys.stderr,
+    )
+    # Shape: wired saturates near 100 Mbps, wireless near the 43 Mbps
+    # air rate; wired is ~2-3x wireless.
+    assert 85 <= wired <= 101
+    assert 34 <= wireless <= 44
+    assert wired > 1.8 * wireless

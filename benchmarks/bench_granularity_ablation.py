@@ -1,0 +1,108 @@
+"""E12 (ablation: flow-grain vs user-grain load balance, Section IV.B).
+
+Paper: "with few users but heavy network traffic, flow-grain load
+balance is preferred, or flows are equally assigned to different
+security service elements.  However, when there are a large number of
+users, user-grain load balance is more effective in terms of both
+speed and efficiency."
+
+Regenerated rows, for two regimes x two granularities:
+
+* few users / heavy traffic (2 users, many parallel heavy flows):
+  flow grain spreads one user's flows over all elements; user grain
+  pins each user to one element and strands capacity,
+* many users (24 users, one light flow each): both balance, but user
+  grain reaches each dispatch decision from a small pinned map --
+  fewer balancer decisions ("speed and efficiency").
+"""
+
+import sys
+
+from repro.analysis import format_table, mbps
+from repro.core.loadbalance import load_deviation
+from repro.core.policy import Granularity
+from repro.workloads import HttpFlow
+
+from common import (
+    GATEWAY_IP,
+    build_throughput_net,
+    ids_chain_policies,
+    run_once,
+    senders_for,
+)
+
+MEASURE_S = 3.0
+
+
+def _run(granularity: Granularity, users: int, flows_per_user: int,
+         rate_bps: float):
+    net = build_throughput_net(
+        4, "ids", num_as=6, hosts_per_as=4,
+        policies=ids_chain_policies(granularity=granularity),
+    )
+    senders = senders_for(net, users, avoid_element_switches=False)
+    flows = []
+    for host in senders:
+        for index in range(flows_per_user):
+            flow = HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=rate_bps,
+                            packet_size=1500)
+            flow.start(delay_s=index * 0.05)
+            flows.append(flow)
+    net.run(1.0)
+    before = [e.processed_bytes for e in net.elements]
+    gw_before = net.gateway.rx_bytes
+    net.run(MEASURE_S)
+    after = [e.processed_bytes for e in net.elements]
+    gw_after = net.gateway.rx_bytes
+    for flow in flows:
+        flow.stop()
+    shares = [float(a - b) for b, a in zip(before, after)]
+    return {
+        "deviation": load_deviation(shares),
+        "goodput": mbps((gw_after - gw_before) * 8, MEASURE_S),
+        "busy_elements": sum(1 for share in shares if share > 0),
+        "decisions": net.controller.balancer.assignments,
+    }
+
+
+def test_e12_granularity_ablation(benchmark):
+    def experiment():
+        heavy = {"users": 2, "flows_per_user": 8, "rate_bps": 100e6}
+        many = {"users": 24, "flows_per_user": 1, "rate_bps": 4e6}
+        return {
+            ("few-heavy", "flow"): _run(Granularity.FLOW, **heavy),
+            ("few-heavy", "user"): _run(Granularity.USER, **heavy),
+            ("many-light", "flow"): _run(Granularity.FLOW, **many),
+            ("many-light", "user"): _run(Granularity.USER, **many),
+        }
+
+    results = run_once(benchmark, experiment)
+    print(file=sys.stderr)
+    print(
+        format_table(
+            ["regime", "granularity", "busy elems", "deviation",
+             "goodput (Mbps)"],
+            [
+                [regime, grain, r["busy_elements"],
+                 f"{r['deviation'] * 100:.0f}%", round(r["goodput"], 1)]
+                for (regime, grain), r in results.items()
+            ],
+            title="E12: flow-grain vs user-grain load balancing",
+        ),
+        file=sys.stderr,
+    )
+    few_flow = results[("few-heavy", "flow")]
+    few_user = results[("few-heavy", "user")]
+    many_flow = results[("many-light", "flow")]
+    many_user = results[("many-light", "user")]
+    # Few users, heavy traffic: flow grain uses the whole fleet and
+    # delivers more; user grain pins 2 users to 2 elements.
+    assert few_flow["busy_elements"] == 4
+    assert few_user["busy_elements"] <= 2
+    assert few_flow["goodput"] > 1.5 * few_user["goodput"]
+    # Many users: user grain balances fine too.
+    assert many_user["deviation"] <= 0.25
+    assert many_user["busy_elements"] == 4
+    assert abs(many_user["goodput"] - many_flow["goodput"]) < 0.15 * (
+        many_flow["goodput"]
+    )

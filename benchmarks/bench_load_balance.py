@@ -1,0 +1,69 @@
+"""E4 (Section V.B.2, load balance).
+
+Paper: "The load balance based on the selecting minimum-load method is
+effective in the practical test.  The load is judged according to the
+number of received and processed packets.  For the normal traffic, the
+real-time load deviation among multiple service elements is no more
+than 5%."
+
+Regenerated rows: steady-state per-element processed-packet rates and
+their max relative deviation, for 4 and 8 elements under minimum-load
+dispatch with "normal" (many medium flows) traffic.
+"""
+
+import sys
+
+from repro.analysis import Sampler, format_table
+from repro.core.loadbalance import load_deviation
+from repro.workloads import HttpFlow
+
+from common import GATEWAY_IP, build_throughput_net, run_once, senders_for
+
+WARMUP_S = 3.0
+MEASURE_S = 10.0
+
+
+def _deviation_for(num_elements: int) -> float:
+    net = build_throughput_net(num_elements, "ids", num_as=6)
+    senders = senders_for(net, 8, avoid_element_switches=False)
+    flows = []
+    # Normal traffic: a dense population of moderate HTTP flows with
+    # staggered starts (the deployment's live campus mix).
+    for round_index in range(5):
+        for host_index, host in enumerate(senders):
+            flow = HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=5e6,
+                            packet_size=1500)
+            flow.start(delay_s=round_index * 0.4 + host_index * 0.05)
+            flows.append(flow)
+    net.run(WARMUP_S)
+    packets_before = [e.processed_packets for e in net.elements]
+    net.run(MEASURE_S)
+    packets_after = [e.processed_packets for e in net.elements]
+    for flow in flows:
+        flow.stop()
+    rates = [
+        (after - before) / MEASURE_S
+        for before, after in zip(packets_before, packets_after)
+    ]
+    return load_deviation(rates)
+
+
+def test_e4_load_balance_deviation(benchmark):
+    def experiment():
+        return {4: _deviation_for(4), 8: _deviation_for(8)}
+
+    result = run_once(benchmark, experiment)
+    print(file=sys.stderr)
+    print(
+        format_table(
+            ["elements", "paper deviation", "measured deviation"],
+            [
+                [n, "<= 5%", f"{result[n] * 100:.1f}%"]
+                for n in sorted(result)
+            ],
+            title="E4: min-load dispatch, real-time load deviation",
+        ),
+        file=sys.stderr,
+    )
+    for deviation in result.values():
+        assert deviation <= 0.05, f"deviation {deviation:.3f} exceeds paper's 5%"

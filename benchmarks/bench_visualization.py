@@ -1,0 +1,129 @@
+"""E6/E7 (Section V.B.4, Figures 7 and 8: visualization).
+
+Figure 7 shows the WebUI in the normal environment: 3 OvS and 1 OF
+Wi-Fi deployed, 2 IDS + 2 protocol-identification elements online,
+5 wireless users of whom 4 browse the web and 1 uses SSH, light
+traffic, and a full-mesh logical topology.
+
+Figure 8 shows the event view: one user has left; one web user is now
+downloading by BitTorrent (link utilization spikes); another user
+accessed a malicious website and was detected and reported
+immediately (and blocked).
+
+The bench drives both scenarios, checks every stated property of both
+figures against the monitoring state, and verifies that *history
+replay* of the Figure 7 moment from the event log matches what the
+live view showed at the time.
+"""
+
+import sys
+
+from repro import Policy, PolicyTable, build_livesec_network
+from repro.analysis import format_table
+from repro.core.policy import FlowSelector, PolicyAction
+from repro.workloads import AttackWebFlow
+from repro.workloads.users import UserBehavior
+
+from common import GATEWAY_IP, run_once
+
+
+def _run_scenario():
+    policies = PolicyTable()
+    policies.add(
+        Policy(
+            name="identify-apps",
+            selector=FlowSelector(dst_ip=GATEWAY_IP),
+            action=PolicyAction.CHAIN,
+            service_chain=("l7", "ids"),
+        )
+    )
+    net = build_livesec_network(
+        topology="fit", policies=policies,
+        num_ovs=3, num_aps=1, wired_users=0, wireless_users=5,
+        host_timeout_s=8.0,
+    )
+    for element_type, switch_index in (("ids", 0), ("ids", 1), ("l7", 0), ("l7", 1)):
+        net.add_element(element_type, net.topology.as_switches[switch_index])
+    net.start()
+
+    users = [
+        UserBehavior(net.sim, net.host(f"wifi{i + 1}"), GATEWAY_IP,
+                     profile="web" if i < 4 else "ssh", rate_bps=400e3)
+        for i in range(5)
+    ]
+    for user in users:
+        user.join()
+    net.run(6.0)
+    figure7_time = net.sim.now
+    figure7 = net.monitoring.snapshot()
+
+    users[3].leave()
+    users[0].rate_bps = 2e6  # a real download: 20 Mbps of BitTorrent
+    users[0].switch_profile("bittorrent")
+    AttackWebFlow(net.sim, users[2].host, GATEWAY_IP, rate_bps=1e6,
+                  duration_s=5.0).start()
+    net.run(16.0)
+    figure8 = net.monitoring.snapshot()
+    replayed7 = net.monitoring.replay(until=figure7_time)
+    return net, users, figure7, figure8, replayed7
+
+
+def test_e6_e7_visualization_scenarios(benchmark):
+    net, users, fig7, fig8, replay7 = run_once(benchmark, _run_scenario)
+    wifi_macs = [u.host.mac for u in users]
+
+    # ---- Figure 7 assertions (normal environment) --------------------
+    assert sorted(fig7.switches) == [1, 2, 3, 101]
+    assert fig7.full_mesh(), "logical topology must be full mesh"
+    online = {u.mac for u in fig7.online_users()}
+    assert set(wifi_macs) <= online
+    apps7 = {u.mac: u.applications for u in fig7.users.values()}
+    web_users = [m for m in wifi_macs if "http" in apps7.get(m, [])]
+    ssh_users = [m for m in wifi_macs if "ssh" in apps7.get(m, [])]
+    assert len(web_users) == 4, f"expected 4 web users, saw {len(web_users)}"
+    assert len(ssh_users) == 1, f"expected 1 ssh user, saw {len(ssh_users)}"
+    elements7 = [e for e in fig7.elements.values() if e.online]
+    assert sorted(e.service_type for e in elements7) == [
+        "ids", "ids", "l7", "l7",
+    ]
+    assert not fig7.active_attacks
+
+    # ---- Figure 8 assertions (events) --------------------------------
+    left_user = fig8.users[wifi_macs[3]]
+    assert not left_user.online, "departed user must show as left"
+    bt_user = fig8.users[wifi_macs[0]]
+    assert "bittorrent" in bt_user.applications
+    attacker = fig8.users[wifi_macs[2]]
+    assert attacker.attacks >= 1 and attacker.blocked
+    assert fig8.active_attacks
+    # BitTorrent surge: some link is hotter than anything in Figure 7.
+    peak7 = max(fig7.link_loads.values(), default=0.0)
+    peak8 = max(fig8.link_loads.values(), default=0.0)
+    assert peak8 > max(3 * peak7, 0.10), (
+        f"expected a utilization spike (fig7 {peak7:.3f} -> fig8 {peak8:.3f})"
+    )
+
+    # ---- History replay reproduces the Figure 7 moment ----------------
+    assert {m for m, u in replay7.users.items() if u.online} == \
+        {m for m, u in fig7.users.items() if u.online}
+    assert {m: u.applications for m, u in replay7.users.items()} == apps7
+    assert sorted(replay7.switches) == sorted(fig7.switches)
+
+    print(file=sys.stderr)
+    print(
+        format_table(
+            ["property", "Figure 7", "Figure 8"],
+            [
+                ["users online", len(fig7.online_users()),
+                 len(fig8.online_users())],
+                ["web / ssh users", f"{len(web_users)} / {len(ssh_users)}", "-"],
+                ["bittorrent user", "no", "yes"],
+                ["peak link load", f"{peak7 * 100:.1f}%", f"{peak8 * 100:.1f}%"],
+                ["attacks shown", 0, len(fig8.active_attacks)],
+                ["user blocked", "no", "yes"],
+                ["full mesh", fig7.full_mesh(), fig8.full_mesh()],
+            ],
+            title="E6/E7: WebUI scenarios (paper Figures 7 and 8)",
+        ),
+        file=sys.stderr,
+    )

@@ -1,0 +1,10 @@
+"""Setuptools shim so `python setup.py develop` works offline.
+
+The offline environment lacks the `wheel` package that pip's PEP 660
+editable-install path requires; `setup.py develop` does not need it.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

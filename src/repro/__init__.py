@@ -1,0 +1,52 @@
+"""LiveSec reproduction: OpenFlow-based security management.
+
+A from-scratch, simulation-backed reproduction of *LiveSec: Towards
+Effective Security Management in Large-Scale Production Networks*
+(ICDCS Workshops 2012).  See README.md for the architecture overview
+and DESIGN.md for the paper-to-module map.
+
+Quickstart::
+
+    from repro import build_livesec_network, PolicyTable, Policy
+    from repro.core.policy import FlowSelector, PolicyAction
+
+    policies = PolicyTable()
+    policies.add(Policy(
+        name="inspect-internet",
+        selector=FlowSelector(dst_ip="10.255.255.254"),
+        action=PolicyAction.CHAIN,
+        service_chain=("ids",),
+    ))
+    net = build_livesec_network(
+        topology="linear", policies=policies, elements=[("ids", 2)],
+    )
+    net.start()
+    # ... drive traffic with repro.workloads, read net.controller.log
+"""
+
+from repro.core import (
+    LiveSecController,
+    LiveSecNetwork,
+    MonitoringComponent,
+    NetworkInformationBase,
+    Policy,
+    PolicyAction,
+    PolicyTable,
+    build_livesec_network,
+)
+from repro.net import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LiveSecController",
+    "LiveSecNetwork",
+    "MonitoringComponent",
+    "NetworkInformationBase",
+    "Policy",
+    "PolicyAction",
+    "PolicyTable",
+    "Simulator",
+    "build_livesec_network",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Measurement and reporting utilities for the evaluation harness."""
+
+from repro.analysis.metrics import (
+    Sampler,
+    mbps,
+    percentile,
+    summarize_latencies,
+    windowed_goodput_bps,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "Sampler",
+    "mbps",
+    "percentile",
+    "summarize_latencies",
+    "windowed_goodput_bps",
+    "format_table",
+]

@@ -1,0 +1,63 @@
+"""Tiny ASCII chart helpers for terminal output.
+
+The original WebUI rendered link-load and element-load graphs in
+Flash; the CLI and examples render the same series as sparklines and
+horizontal bar charts so a deployment can be eyeballed from a
+terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], maximum: float = None) -> str:
+    """A one-line unicode sparkline of a series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for value in values:
+        clamped = min(max(value, 0.0), top)
+        index = round(clamped / top * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    data: Dict[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per labelled value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a  ████ 2
+    b  ██   1
+    """
+    if not data:
+        return ""
+    top = max(data.values()) or 1.0
+    label_width = max(len(label) for label in data)
+    lines = []
+    for label, value in data.items():
+        filled = round(max(value, 0.0) / top * width)
+        bar = ("█" * filled).ljust(width)
+        rendered = f"{value:g}{unit}"
+        lines.append(f"{label.ljust(label_width)}  {bar} {rendered}")
+    return "\n".join(lines)
+
+
+def utilization_meter(fraction: float, width: int = 20) -> str:
+    """A [####----] 42% meter for link/CPU utilization."""
+    clamped = min(max(fraction, 0.0), 1.0)
+    filled = round(clamped * width)
+    return f"[{'#' * filled}{'-' * (width - filled)}] {clamped * 100:.0f}%"

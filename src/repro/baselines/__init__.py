@@ -1,0 +1,28 @@
+"""Baseline architectures LiveSec is compared against.
+
+* :mod:`repro.baselines.traditional` -- the conventional design of the
+  paper's Figure 1: plain legacy switching with a single
+  high-performance middlebox inline at the Internet gateway.  It shows
+  the single-point bottleneck and the lack of end-to-end coverage.
+* :mod:`repro.baselines.pswitch` -- the PLayer/pswitch design (Joseph
+  et al., SIGCOMM 2008), the paper's closest related work: policy-aware
+  switches steer flows through middleboxes, but each middlebox is
+  statically wired to a specific pswitch, so there is no global load
+  balancing and capacity cannot pool across work zones.
+"""
+
+from repro.baselines.traditional import (
+    InlineMiddlebox,
+    TraditionalNetwork,
+    build_traditional_network,
+)
+from repro.baselines.pswitch import PSwitch, PSwitchNetwork, build_pswitch_network
+
+__all__ = [
+    "InlineMiddlebox",
+    "TraditionalNetwork",
+    "build_traditional_network",
+    "PSwitch",
+    "PSwitchNetwork",
+    "build_pswitch_network",
+]

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A terminal front door to the reproduction, for poking at the system
+without writing a script:
+
+* ``campus``      -- run the Figure 7/8 campus scenario, render both
+                     moments, optionally dump the monitoring DB to JSON,
+* ``throughput``  -- measure HTTP goodput through N IDS elements (the
+                     E2 configuration),
+* ``latency``     -- the legacy-vs-LiveSec ping comparison (E5),
+* ``loadbalance`` -- per-element load shares under a chosen dispatcher,
+* ``scale``       -- build the paper-scale FIT deployment and print the
+                     controller's view of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import Policy, PolicyTable, build_livesec_network
+from repro.analysis.ascii_charts import bar_chart, utilization_meter
+from repro.analysis.metrics import mbps
+from repro.core.policy import FlowSelector, PolicyAction
+from repro.core.visualization import render_snapshot
+
+GATEWAY_IP = "10.255.255.254"
+
+
+def _ids_policies(chain=("ids",)) -> PolicyTable:
+    table = PolicyTable()
+    table.add(Policy(
+        name="inspect-internet",
+        selector=FlowSelector(dst_ip=GATEWAY_IP),
+        action=PolicyAction.CHAIN,
+        service_chain=tuple(chain),
+    ))
+    return table
+
+
+def cmd_campus(args: argparse.Namespace) -> int:
+    from repro.workloads import AttackWebFlow
+    from repro.workloads.users import UserBehavior
+
+    net = build_livesec_network(
+        topology="fit", policies=_ids_policies(("l7", "ids")),
+        num_ovs=3, num_aps=1, wired_users=0, wireless_users=5,
+        host_timeout_s=8.0,
+    )
+    for element_type, index in (("ids", 0), ("ids", 1), ("l7", 0), ("l7", 1)):
+        net.add_element(element_type, net.topology.as_switches[index])
+    net.start()
+    users = [
+        UserBehavior(net.sim, net.host(f"wifi{i + 1}"), GATEWAY_IP,
+                     profile="web" if i < 4 else "ssh", rate_bps=400e3)
+        for i in range(5)
+    ]
+    for user in users:
+        user.join()
+    net.run(6.0)
+    print("--- normal environment (paper Figure 7) ---")
+    print(render_snapshot(net.monitoring.snapshot()))
+
+    users[3].leave()
+    users[0].rate_bps = 2e6
+    users[0].switch_profile("bittorrent")
+    AttackWebFlow(net.sim, users[2].host, GATEWAY_IP, rate_bps=1e6,
+                  duration_s=5.0).start()
+    net.run(12.0)
+    print("\n--- events (paper Figure 8) ---")
+    print(render_snapshot(net.monitoring.snapshot()))
+
+    if args.dump_json:
+        from repro.core.webdb import WebDatabase
+
+        rows = WebDatabase(net.monitoring).dump(args.dump_json)
+        print(f"\nwrote {rows} event rows to {args.dump_json}")
+    return 0
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.workloads import HttpFlow
+
+    net = build_livesec_network(
+        topology="linear", policies=_ids_policies(),
+        num_as=6, hosts_per_as=2, access_bandwidth_bps=1e9,
+        core_bandwidth_bps=10e9, gateway_bandwidth_bps=10e9,
+    )
+    for index in range(args.elements):
+        net.add_element("ids", net.topology.as_switches[index % 4],
+                        bypass=args.bypass)
+    net.start()
+    hosts = [h for h in net.topology.hosts if h is not net.topology.gateway]
+    flows = [
+        HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=250e6,
+                 packet_size=1500).start()
+        for host in hosts[: max(2, 2 * args.elements)]
+    ]
+    net.run(0.5)
+    before = net.gateway.rx_bytes
+    net.run(args.seconds)
+    goodput = mbps((net.gateway.rx_bytes - before) * 8, args.seconds)
+    for flow in flows:
+        flow.stop()
+    mode = "bypass" if args.bypass else "inspected HTTP"
+    print(f"{args.elements} element(s), {mode}: {goodput:.0f} Mbps"
+          f"  (paper: 421 per inspecting element, ~500 bypass)")
+    shares = {
+        element.name: round(element.processed_bytes * 8 / args.seconds / 1e6)
+        for element in net.elements
+    }
+    if shares:
+        print(bar_chart(shares, unit=" Mbps"))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    from repro.baselines import build_traditional_network
+
+    wan = 0.8e-3
+    baseline = build_traditional_network(num_access=2, hosts_per_access=1,
+                                         with_middlebox=False)
+    baseline.run(1.0)
+    baseline.announce_all()
+    baseline.run(0.5)
+    host = baseline.host("h1")
+    for index in range(args.pings):
+        baseline.sim.schedule(index * 0.2, host.ping, baseline.gateway.ip)
+    baseline.run(args.pings * 0.2 + 1.0)
+    legacy_ms = (sum(host.ping_rtts) / len(host.ping_rtts) + 2 * wan) * 1e3
+
+    net = build_livesec_network(topology="linear", num_as=2, hosts_per_as=1)
+    net.start()
+    user = net.host("h1_1")
+    for index in range(args.pings + 1):
+        net.sim.schedule(index * 0.2, user.ping, GATEWAY_IP)
+    net.run((args.pings + 1) * 0.2 + 1.0)
+    livesec_ms = (
+        sum(user.ping_rtts[1:]) / len(user.ping_rtts[1:]) + 2 * wan
+    ) * 1e3
+
+    overhead = livesec_ms / legacy_ms - 1
+    print(f"legacy:  {legacy_ms:.3f} ms")
+    print(f"livesec: {livesec_ms:.3f} ms")
+    print(f"overhead: {overhead * 100:.1f}%  (paper: ~10%)")
+    return 0
+
+
+def cmd_loadbalance(args: argparse.Namespace) -> int:
+    from repro.workloads import HttpFlow
+    from repro.core.loadbalance import load_deviation
+
+    net = build_livesec_network(
+        topology="linear", policies=_ids_policies(),
+        dispatcher=args.dispatcher, num_as=6, hosts_per_as=2,
+        access_bandwidth_bps=1e9, core_bandwidth_bps=10e9,
+        gateway_bandwidth_bps=10e9,
+    )
+    for index in range(4):
+        net.add_element("ids", net.topology.as_switches[index])
+    net.start()
+    hosts = [h for h in net.topology.hosts if h is not net.topology.gateway]
+    flows = []
+    for repeat in range(5):
+        for offset, host in enumerate(hosts[:8]):
+            flow = HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=5e6,
+                            packet_size=1500)
+            flow.start(delay_s=repeat * 0.3 + offset * 0.05)
+            flows.append(flow)
+    net.run(2.0)
+    before = [e.processed_packets for e in net.elements]
+    net.run(args.seconds)
+    rates = [
+        (element.processed_packets - b) / args.seconds
+        for element, b in zip(net.elements, before)
+    ]
+    for flow in flows:
+        flow.stop()
+    print(f"dispatcher: {args.dispatcher}")
+    print(bar_chart({e.name: round(r) for e, r in zip(net.elements, rates)},
+                    unit=" pps"))
+    print(f"deviation: {load_deviation(rates) * 100:.1f}%"
+          f"  (paper: <=5% with minload)")
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    net = build_livesec_network(
+        topology="fit", policies=_ids_policies(),
+        elements=[("ids", 160), ("l7", 40)],
+    )
+    net.start(warmup_s=3.0)
+    status = net.status()
+    print("paper-scale FIT deployment is up:")
+    print(f"  switches:  {status['nib']['switches']}"
+          f"  (full mesh: {status['nib']['full_mesh']})")
+    print(f"  elements:  {status['registry']['online']} online"
+          f"  {status['registry']['by_type']}")
+    print(f"  hosts:     {status['nib']['hosts'] - status['nib']['elements']}")
+    print(f"  events:    {status['events']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LiveSec reproduction: terminal demos of the system.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campus = sub.add_parser("campus", help="Figure 7/8 campus scenario")
+    campus.add_argument("--dump-json", metavar="PATH", default=None,
+                        help="write the monitoring DB to a JSON file")
+    campus.set_defaults(func=cmd_campus)
+
+    throughput = sub.add_parser("throughput",
+                                help="HTTP goodput through IDS elements")
+    throughput.add_argument("--elements", type=int, default=2)
+    throughput.add_argument("--seconds", type=float, default=1.5)
+    throughput.add_argument("--bypass", action="store_true")
+    throughput.set_defaults(func=cmd_throughput)
+
+    latency = sub.add_parser("latency", help="legacy vs LiveSec ping RTT")
+    latency.add_argument("--pings", type=int, default=30)
+    latency.set_defaults(func=cmd_latency)
+
+    loadbalance = sub.add_parser("loadbalance",
+                                 help="per-element load shares")
+    loadbalance.add_argument(
+        "--dispatcher", default="minload",
+        choices=["polling", "hash", "queuing", "minload"],
+    )
+    loadbalance.add_argument("--seconds", type=float, default=6.0)
+    loadbalance.set_defaults(func=cmd_loadbalance)
+
+    scale = sub.add_parser("scale", help="paper-scale FIT deployment")
+    scale.set_defaults(func=cmd_scale)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,819 @@
+"""The LiveSec controller application (the paper's core contribution).
+
+One NOX-style app that ties every subsystem together:
+
+* location discovery from ARP (Section III.C.2) into the NIB,
+* the directory proxy answering ARP/DHCP without fabric broadcast,
+* two-hop end-to-end routing over the logical full mesh (III.C.3),
+* the global policy table and interactive policy enforcement with
+  service-element steering and ingress blocking (IV.A),
+* the in-band service-element message channel with certification
+  (III.D.1) feeding the registry and the load balancer (IV.B),
+* monitoring: port-stats polling, the global event log, and the
+  visualization state the WebUI renders (IV.C, IV.D).
+
+The controller is deliberately reactive: it installs flow entries only
+in response to first packets, keeps all decision logic here in the
+control plane, and leaves the data plane to dumb flow-table lookups --
+the 4D/OpenFlow separation the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import messages as svcmsg
+from repro.core.directory import DirectoryProxy
+from repro.core.events import EventKind, EventLog
+from repro.core.loadbalance import LoadBalancer, make_dispatcher
+from repro.core.nib import HostRecord, NetworkInformationBase
+from repro.core.policy import Granularity, Policy, PolicyAction, PolicyTable
+from repro.core.routing import (
+    RoutingError,
+    RuleSpec,
+    compute_path_rules,
+    drop_rule,
+    source_block_rule,
+)
+from repro.core.services import CertificateError, ServiceRegistry
+from repro.core.sessions import Session, SessionTable
+from repro.net import packet as pkt
+from repro.net.packet import Arp, Dhcp, Ethernet, FlowNineTuple, Udp, extract_nine_tuple
+from repro.openflow import messages as ofmsg
+from repro.openflow.actions import Output
+from repro.openflow.controller_base import ControllerBase, DiscoveredLink, SwitchHandle
+
+DEFAULT_SECRET = "livesec-deployment-secret"
+DEFAULT_IDLE_TIMEOUT_S = 5.0
+HOST_EXPIRY_INTERVAL_S = 5.0
+REGISTRY_EXPIRY_INTERVAL_S = 1.0
+ANNOUNCE_REFRESH_INTERVAL_S = 60.0
+ANNOUNCE_MIN_GAP_S = 0.25
+DEFAULT_STATS_INTERVAL_S = 1.0
+
+
+class LiveSecController(ControllerBase):
+    """The centralized security-management controller.
+
+    Parameters mirror the deployment's knobs: the dispatch algorithm
+    (``'polling' | 'hash' | 'queuing' | 'minload'``), flow idle
+    timeout, the certification secret, and whether/so-often to poll
+    port statistics for the monitoring view.
+    """
+
+    def __init__(
+        self,
+        sim,
+        policies: Optional[PolicyTable] = None,
+        dispatcher: str = "minload",
+        secret: str = DEFAULT_SECRET,
+        idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+        host_timeout_s: float = 120.0,
+        stats_interval_s: Optional[float] = DEFAULT_STATS_INTERVAL_S,
+        on_no_element: str = "allow",
+        lldp_enabled: bool = True,
+    ):
+        super().__init__(sim, lldp_enabled=lldp_enabled)
+        if on_no_element not in ("allow", "drop"):
+            raise ValueError(f"on_no_element must be allow|drop, got {on_no_element}")
+        self.nib = NetworkInformationBase(host_timeout_s=host_timeout_s)
+        self.policies = policies if policies is not None else PolicyTable()
+        self.registry = ServiceRegistry(secret=secret)
+        self.balancer = LoadBalancer(make_dispatcher(dispatcher))
+        self.sessions = SessionTable()
+        self.directory = DirectoryProxy(self.nib)
+        self.log = EventLog()
+        self.idle_timeout_s = idle_timeout_s
+        self.on_no_element = on_no_element
+        # Monitoring state.
+        self._port_capacity: Dict[Tuple[int, int], float] = {}
+        self._last_port_sample: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        self._last_announce: Dict[str, float] = {}
+        # Add-ons (e.g. AggregateFlowControl) subscribe here to see
+        # flow-stats replies without subclassing.
+        self.flow_stats_listeners: list = []
+        # Diagnostics.
+        self.counters: Dict[str, int] = {
+            "arp_in": 0,
+            "service_messages": 0,
+            "flows_installed": 0,
+            "flows_blocked": 0,
+            "transit_ignored": 0,
+            "orphan_chain_frames": 0,
+            "no_element_fallback": 0,
+            "routing_deferred": 0,
+        }
+        sim.every(HOST_EXPIRY_INTERVAL_S, self._expire_hosts)
+        sim.every(REGISTRY_EXPIRY_INTERVAL_S, self._expire_elements)
+        sim.every(ANNOUNCE_REFRESH_INTERVAL_S, self.refresh_announcements)
+        if stats_interval_s is not None:
+            sim.every(stats_interval_s, self._poll_stats)
+
+    # ==================================================================
+    # Topology events
+
+    def on_switch_join(self, switch: SwitchHandle) -> None:
+        self.nib.add_switch(switch.dpid, switch.name, switch.ports, self.sim.now)
+        self.log.emit(self.sim.now, EventKind.SWITCH_JOIN,
+                      dpid=switch.dpid, name=switch.name)
+
+    def on_switch_leave(self, switch: SwitchHandle) -> None:
+        self.nib.remove_switch(switch.dpid)
+        self.log.emit(self.sim.now, EventKind.SWITCH_LEAVE, dpid=switch.dpid)
+
+    def on_link_discovered(self, link: DiscoveredLink) -> None:
+        pair_was_known = self.nib.link(link.src_dpid, link.dst_dpid) is not None
+        self.nib.learn_link(
+            link.src_dpid, link.src_port, link.dst_dpid, link.dst_port, self.sim.now
+        )
+        if not pair_was_known:
+            self.log.emit(
+                self.sim.now, EventKind.LINK_UP,
+                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
+            )
+
+    def on_link_timeout(self, link: DiscoveredLink) -> None:
+        # Dual-homed pairs have several port pairs; rebuild the NIB's
+        # link table from what discovery still confirms, and only
+        # report the logical link down when no path remains.
+        before = {
+            dpid: self.nib.uplink_ports(dpid) for dpid in self.nib.switches
+        }
+        self.nib.rebuild_links(self.known_links(), self.sim.now)
+        if self.nib.link(link.src_dpid, link.dst_dpid) is None:
+            self.log.emit(
+                self.sim.now, EventKind.LINK_DOWN,
+                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
+            )
+        # Fabric failover: a switch whose uplink set shrank may have
+        # live sessions forwarding into the dead path -- and those
+        # entries never idle out, because the (blackholed) traffic
+        # keeps refreshing them.  Tear the affected sessions down; the
+        # next packet re-forms them over the surviving uplinks.
+        uplinks_changed = False
+        for dpid, old_uplinks in before.items():
+            new_uplinks = self.nib.uplink_ports(dpid)
+            if new_uplinks and old_uplinks - new_uplinks:
+                self._invalidate_sessions_via(dpid)
+                uplinks_changed = True
+        if uplinks_changed:
+            # The legacy fabric's MAC tables still point hosts at the
+            # dead paths; flooding fresh announcements out of the
+            # surviving uplinks re-teaches it.
+            self.refresh_announcements(force=True)
+
+    def _invalidate_sessions_via(self, dpid: int) -> None:
+        for session in list(self.sessions):
+            if any(rule.dpid == dpid for rule in session.rules):
+                self._teardown_session(session)
+
+    # ==================================================================
+    # Packet-in dispatch
+
+    def on_packet_in(self, event: ofmsg.PacketIn) -> None:
+        frame = event.frame
+        if frame.ethertype == pkt.ETH_TYPE_ARP and isinstance(frame.payload, Arp):
+            self._handle_arp(event, frame.payload)
+            return
+        if isinstance(frame.payload, Dhcp):
+            self._handle_dhcp(event, frame.payload)
+            return
+        transport = frame.transport()
+        if isinstance(transport, Udp) and svcmsg.is_service_message(transport.payload):
+            self._handle_service_message(event, transport.payload)
+            return
+        if frame.ip() is not None:
+            self._handle_data_packet(event)
+            return
+        # Unknown ethertype (e.g. stray BPDUs leaking through): ignore.
+
+    # ------------------------------------------------------------------
+    # ARP / location discovery / directory proxy
+
+    def _is_periphery_port(self, dpid: int, port: int) -> Optional[bool]:
+        """True/False once the switch's uplinks are known, None before.
+
+        A dual-homed AS switch has several Legacy-Switching ports; a
+        port is periphery only when it is none of them.
+        """
+        uplinks = self.nib.uplink_ports(dpid)
+        if not uplinks:
+            return None
+        return port not in uplinks
+
+    def _handle_arp(self, event: ofmsg.PacketIn, arp: Arp) -> None:
+        self.counters["arp_in"] += 1
+        periphery = self._is_periphery_port(event.dpid, event.in_port)
+        if periphery:
+            self._learn_host(
+                mac=arp.sender_mac,
+                ip=arp.sender_ip,
+                dpid=event.dpid,
+                port=event.in_port,
+            )
+        if not arp.is_request:
+            # Unicast reply: deliver to the target if we know where it is.
+            target = self.nib.host_by_mac(arp.target_mac)
+            if target is not None:
+                self.send_packet_out(
+                    target.dpid, actions=(Output(target.port),), frame=event.frame
+                )
+            return
+        decision = self.directory.handle_arp_request(arp)
+        if decision.action == "reply":
+            assert decision.reply_frame is not None
+            self.send_packet_out(
+                event.dpid,
+                actions=(Output(event.in_port),),
+                frame=decision.reply_frame,
+            )
+        elif decision.action == "flood":
+            self._periphery_flood(event.frame, exclude=(event.dpid, event.in_port))
+
+    def _learn_host(self, mac: str, ip: Optional[str], dpid: int, port: int,
+                    is_element: bool = False) -> HostRecord:
+        record, is_new = self.nib.learn_host(
+            mac=mac, ip=ip, dpid=dpid, port=port, now=self.sim.now,
+            is_element=is_element,
+        )
+        if is_new:
+            kind = (
+                EventKind.HOST_MOVE
+                if record.first_seen < self.sim.now and not is_element
+                and record.first_seen != record.last_seen
+                else EventKind.HOST_JOIN
+            )
+            if not record.is_element:
+                self.log.emit(self.sim.now, kind,
+                              mac=mac, ip=ip, dpid=dpid, port=port)
+            self._announce_host(record)
+        return record
+
+    def _announce_host(self, record: HostRecord, force: bool = False) -> None:
+        """Teach the legacy fabric where this MAC lives by flooding a
+        gratuitous ARP out of the host's switch uplink.
+
+        Rate-limited per MAC (announcements are flooded to every AS
+        switch, so a feedback loop must never be able to amplify
+        them); ``force`` bypasses the limiter for failover refreshes,
+        where re-teaching the fabric immediately is the whole point.
+        """
+        uplink = self.nib.uplink_port(record.dpid)
+        if uplink is None or record.dpid not in self.switches:
+            return
+        last = self._last_announce.get(record.mac)
+        if not force and last is not None and \
+                self.sim.now - last < ANNOUNCE_MIN_GAP_S:
+            return
+        self._last_announce[record.mac] = self.sim.now
+        announce = pkt.make_arp_request(
+            record.mac, record.ip or "0.0.0.0", record.ip or "0.0.0.0"
+        )
+        self.send_packet_out(record.dpid, actions=(Output(uplink),), frame=announce)
+
+    def refresh_announcements(self, force: bool = False) -> None:
+        """Re-announce every known host into the legacy fabric (also
+        called once by the deployment after discovery converges)."""
+        for record in list(self.nib.hosts.values()):
+            self._announce_host(record, force=force)
+
+    def _periphery_flood(self, frame: Ethernet,
+                         exclude: Tuple[int, int]) -> None:
+        """Directory-proxy fallback for unknown ARP targets: deliver a
+        copy to every Network-Periphery port, never into the fabric."""
+        for dpid, handle in self.switches.items():
+            uplinks = self.nib.uplink_ports(dpid)
+            if not uplinks:
+                continue
+            outputs = tuple(
+                Output(port)
+                for port in handle.ports
+                if port not in uplinks and (dpid, port) != exclude
+            )
+            if outputs:
+                self.send_packet_out(dpid, actions=outputs, frame=frame.clone())
+
+    def _handle_dhcp(self, event: ofmsg.PacketIn, dhcp: Dhcp) -> None:
+        response = self.directory.handle_dhcp(dhcp)
+        if response is None:
+            return
+        reply = Ethernet(
+            src=svcmsg.CONTROLLER_MAC,
+            dst=dhcp.client_mac,
+            ethertype=0x0800,
+            size=300,
+            payload=None,
+        )
+        reply.payload = response  # type: ignore[assignment]
+        self.send_packet_out(
+            event.dpid, actions=(Output(event.in_port),), frame=reply
+        )
+
+    # ------------------------------------------------------------------
+    # Service-element messages (never get a flow entry installed)
+
+    def _handle_service_message(self, event: ofmsg.PacketIn, payload: bytes) -> None:
+        self.counters["service_messages"] += 1
+        mac = event.frame.src
+        try:
+            message = svcmsg.decode(payload)
+        except svcmsg.MessageFormatError:
+            self._reject_element(event, mac, reason="malformed-message")
+            return
+        try:
+            if isinstance(message, svcmsg.OnlineMessage):
+                self._handle_online_message(event, message)
+            else:
+                self._handle_event_report(event, message)
+        except CertificateError:
+            self._reject_element(event, mac, reason="bad-certificate")
+
+    def _handle_online_message(
+        self, event: ofmsg.PacketIn, message: svcmsg.OnlineMessage
+    ) -> None:
+        known_before = self.registry.is_element(message.element_mac)
+        record = self.registry.handle_online(message, self.sim.now)
+        came_back = not known_before or not record.online
+        host = self._learn_host(
+            mac=message.element_mac,
+            ip=None,
+            dpid=event.dpid,
+            port=event.in_port,
+            is_element=True,
+        )
+        self.balancer.on_load_report(message.element_mac)
+        if came_back or record.reports == 1:
+            self.log.emit(
+                self.sim.now, EventKind.ELEMENT_ONLINE,
+                mac=message.element_mac,
+                service_type=message.service_type,
+                dpid=host.dpid,
+            )
+        self.log.emit(
+            self.sim.now, EventKind.ELEMENT_LOAD,
+            mac=message.element_mac, cpu=message.cpu, pps=message.pps,
+            flows=message.active_flows,
+        )
+
+    def _handle_event_report(
+        self, event: ofmsg.PacketIn, message: svcmsg.EventReportMessage
+    ) -> None:
+        self.registry.verify_event(message)
+        session = self._find_session_for_report(message)
+        if message.kind == "attack":
+            self._block_attack(message, session)
+        elif message.kind == "protocol":
+            application = message.detail.get("application", "unknown")
+            user_mac = session.src_mac if session else (
+                message.flow.dl_src if message.flow else "?"
+            )
+            if session is not None:
+                session.application = application
+            self.log.emit(
+                self.sim.now, EventKind.PROTOCOL_IDENTIFIED,
+                user_mac=user_mac, application=application,
+                element=message.element_mac,
+            )
+        else:
+            # Other service results (virus, content, ...) are logged as
+            # attacks for blocking purposes only when flagged malicious.
+            if message.detail.get("verdict") == "malicious":
+                self._block_attack(message, session)
+            else:
+                self.log.emit(
+                    self.sim.now, EventKind.PROTOCOL_IDENTIFIED,
+                    user_mac=message.flow.dl_src if message.flow else "?",
+                    application=f"{message.kind}:{message.detail.get('result', '?')}",
+                    element=message.element_mac,
+                )
+
+    def _find_session_for_report(
+        self, message: svcmsg.EventReportMessage
+    ) -> Optional[Session]:
+        """Map a reported flow back to its session.
+
+        The element sees frames whose dl_dst was rewritten to its own
+        MAC, so an exact 9-tuple lookup can fail; fall back to matching
+        the sessions steered through that element on the stable fields.
+        """
+        if message.flow is None:
+            return None
+        direct = self.sessions.lookup(message.flow)
+        if direct is not None:
+            return direct
+        for session in self.sessions.sessions_via_element(message.element_mac):
+            for candidate in (session.flow, session.reverse_flow):
+                # Compare on the network/transport identity only: the
+                # MAC labels the element saw may have been rewritten by
+                # the steering chain (dl_dst always, dl_src for chains
+                # of two or more elements).
+                if (
+                    candidate.nw_src == message.flow.nw_src
+                    and candidate.nw_dst == message.flow.nw_dst
+                    and candidate.nw_proto == message.flow.nw_proto
+                    and candidate.tp_src == message.flow.tp_src
+                    and candidate.tp_dst == message.flow.tp_dst
+                ):
+                    return session
+        return None
+
+    def _block_attack(
+        self,
+        message: svcmsg.EventReportMessage,
+        session: Optional[Session],
+    ) -> None:
+        """Install the ingress drop: the flow dies at the entrance."""
+        attack_type = message.detail.get("attack", "unknown")
+        if session is not None:
+            flow = session.flow
+            user_mac = session.src_mac
+        elif message.flow is not None:
+            flow = message.flow
+            user_mac = message.flow.dl_src
+        else:
+            return
+        src = self.nib.host_by_mac(user_mac)
+        self.log.emit(
+            self.sim.now, EventKind.ATTACK_DETECTED,
+            user_mac=user_mac, attack=attack_type,
+            element=message.element_mac,
+            dpid=src.dpid if src else -1,
+        )
+        if src is None:
+            return
+        rule = drop_rule(
+            flow, src,
+            cookie=session.session_id if session else 0,
+        )
+        self._install_rule(rule)
+        if session is not None:
+            session.blocked = True
+        self.counters["flows_blocked"] += 1
+        self.log.emit(
+            self.sim.now, EventKind.FLOW_BLOCKED,
+            user_mac=user_mac, dpid=src.dpid, attack=attack_type,
+        )
+
+    def _reject_element(self, event: ofmsg.PacketIn, mac: str, reason: str) -> None:
+        """Uncertified/malformed element traffic: drop at the ingress."""
+        record = self.nib.host_by_mac(mac)
+        if record is None:
+            record = HostRecord(
+                mac=mac, ip=None, dpid=event.dpid, port=event.in_port,
+                first_seen=self.sim.now, last_seen=self.sim.now,
+            )
+        self._install_rule(source_block_rule(mac, record))
+        self.log.emit(
+            self.sim.now, EventKind.ELEMENT_REJECTED, mac=mac, reason=reason
+        )
+
+    # ------------------------------------------------------------------
+    # Data-plane flow setup (interactive policy enforcement)
+
+    def _handle_data_packet(self, event: ofmsg.PacketIn) -> None:
+        frame = event.frame
+        periphery = self._is_periphery_port(event.dpid, event.in_port)
+        flow = extract_nine_tuple(frame)
+
+        if periphery is not True:
+            # A transit copy flooded through the legacy fabric, or a
+            # punt from a switch whose uplink is still undiscovered.
+            # Deliver locally if the destination sits on this switch,
+            # but never install state or learn locations from it.
+            self.counters["transit_ignored"] += 1
+            dst = self.nib.host_by_mac(frame.dst)
+            if (
+                dst is not None
+                and dst.dpid == event.dpid
+                and event.buffer_id is not None
+            ):
+                self.send_packet_out(
+                    event.dpid, actions=(Output(dst.port),),
+                    buffer_id=event.buffer_id,
+                )
+            return
+
+        existing = self.sessions.lookup(flow)
+        if existing is not None:
+            self._release_along_session(event, existing, flow)
+            return
+
+        # Orphaned mid-chain frame: its destination MAC is a service
+        # element's, i.e. it was rewritten by a (since torn down)
+        # steering chain and missed the element switch's entries.  It
+        # must neither teach us locations (its source MAC is the
+        # *original* sender, nowhere near this port) nor form a
+        # session (the real flow will re-punt at its true ingress and
+        # re-form; the transport retransmits the lost packet).
+        dst_record_early = self.nib.host_by_mac(frame.dst)
+        if (
+            dst_record_early is not None
+            and dst_record_early.is_element
+            and frame.src != dst_record_early.mac
+        ):
+            self.counters["orphan_chain_frames"] += 1
+            return
+
+        # Learn-or-refresh: a packet from a periphery port is location
+        # evidence and liveness evidence at once.
+        src = self._learn_host(frame.src, flow.nw_src, event.dpid, event.in_port)
+        dst = self.nib.host_by_mac(frame.dst)
+        if dst is None:
+            # Destination location unknown: fall back to a periphery
+            # flood of this one packet; the session forms on a retry.
+            self._periphery_flood(frame, exclude=(event.dpid, event.in_port))
+            return
+
+        policy = self.policies.lookup(flow)
+        action = policy.action if policy is not None else self.policies.default_action
+
+        if action is PolicyAction.DROP:
+            rule = drop_rule(flow, src)
+            self._install_rule(rule)
+            self.counters["flows_blocked"] += 1
+            self.log.emit(
+                self.sim.now, EventKind.FLOW_BLOCKED,
+                user_mac=src.mac, dpid=src.dpid,
+                policy=policy.name if policy else "default",
+            )
+            return
+
+        waypoints: List[HostRecord] = []
+        element_macs: List[str] = []
+        if action is PolicyAction.CHAIN:
+            assert policy is not None
+            resolved = self._resolve_chain(policy, flow, src)
+            if resolved is None:
+                if self.on_no_element == "drop":
+                    self._install_rule(drop_rule(flow, src))
+                    self.counters["flows_blocked"] += 1
+                    return
+                self.counters["no_element_fallback"] += 1
+            else:
+                waypoints, element_macs = resolved
+
+        try:
+            self._install_session(
+                event, flow, src, dst, waypoints, tuple(element_macs), policy
+            )
+        except RoutingError:
+            # Topology discovery has not converged; deliver nothing and
+            # let the application retry.
+            self.counters["routing_deferred"] += 1
+
+    def _resolve_chain(
+        self, policy: Policy, flow: FlowNineTuple, src: HostRecord
+    ) -> Optional[Tuple[List[HostRecord], List[str]]]:
+        """Pick one element per chained service type via the balancer."""
+        waypoints: List[HostRecord] = []
+        element_macs: List[str] = []
+        for service_type in policy.service_chain:
+            candidates = self.registry.candidates(service_type)
+            located = [
+                c for c in candidates if self.nib.host_by_mac(c.mac) is not None
+            ]
+            if not located:
+                return None
+            chosen = self.balancer.assign(
+                located, flow,
+                user=src.mac,
+                granularity=policy.granularity,
+            )
+            record = self.nib.host_by_mac(chosen)
+            assert record is not None
+            waypoints.append(record)
+            element_macs.append(chosen)
+        return waypoints, element_macs
+
+    def _install_session(
+        self,
+        event: ofmsg.PacketIn,
+        flow: FlowNineTuple,
+        src: HostRecord,
+        dst: HostRecord,
+        waypoints: List[HostRecord],
+        element_macs: Tuple[str, ...],
+        policy: Optional[Policy],
+    ) -> None:
+        session_id = self.sessions.next_id()
+        forward = compute_path_rules(
+            self.nib, flow, src, dst, waypoints,
+            idle_timeout=self.idle_timeout_s, cookie=session_id,
+        )
+        inspect_reply = policy.inspect_reply if policy is not None else False
+        reverse_waypoints = list(reversed(waypoints)) if inspect_reply else []
+        reverse = compute_path_rules(
+            self.nib, flow.reversed(), dst, src, reverse_waypoints,
+            idle_timeout=self.idle_timeout_s, cookie=session_id,
+        )
+        # Only the *forward* ingress entry arms session teardown.  The
+        # reply direction of a one-way flow is legitimately idle; its
+        # expiry must not kill an active session (the teardown deletes
+        # the reverse entries anyway, and a late reply packet simply
+        # punts and re-forms the session from the other side).
+        reverse[0] = dc_replace(reverse[0], send_flow_removed=False)
+        rules = forward + reverse
+        session = self.sessions.create(
+            flow=flow,
+            src_mac=src.mac,
+            dst_mac=dst.mac,
+            policy_name=policy.name if policy else None,
+            element_macs=element_macs,
+            rules=rules,
+            now=self.sim.now,
+            session_id=session_id,
+        )
+        # "All above flow entries can be calculated and enforced
+        # simultaneously" -- the ingress FlowMod releases the buffered
+        # first packet through the freshly installed actions.
+        for rule in rules:
+            buffer_id = (
+                event.buffer_id
+                if rule is forward[0] and rule.dpid == event.dpid
+                else None
+            )
+            self._install_rule(rule, buffer_id=buffer_id)
+        self.counters["flows_installed"] += 1
+        self.log.emit(
+            self.sim.now, EventKind.FLOW_START,
+            session=session.session_id, user_mac=src.mac, dst_mac=dst.mac,
+            policy=policy.name if policy else "default",
+            rules=len(rules),
+        )
+        if element_macs:
+            self.log.emit(
+                self.sim.now, EventKind.FLOW_STEERED,
+                session=session.session_id,
+                elements=",".join(element_macs),
+            )
+
+    def _release_along_session(
+        self, event: ofmsg.PacketIn, session: Session, flow: FlowNineTuple
+    ) -> None:
+        """A packet of an already-installed session was punted (it raced
+        the FlowMods): push it through the session's ingress actions."""
+        if session.blocked or event.buffer_id is None:
+            return
+        for rule in session.rules:
+            if rule.dpid == event.dpid and rule.match.matches(
+                event.frame, event.in_port
+            ):
+                self.send_packet_out(
+                    event.dpid, actions=rule.actions, buffer_id=event.buffer_id
+                )
+                return
+
+    def _install_rule(self, rule: RuleSpec, buffer_id: Optional[int] = None) -> None:
+        if rule.dpid not in self.switches:
+            return
+        self.send_flow_mod(
+            rule.dpid,
+            command=ofmsg.FlowMod.ADD,
+            match=rule.match,
+            actions=rule.actions,
+            priority=rule.priority,
+            idle_timeout=rule.idle_timeout,
+            hard_timeout=rule.hard_timeout,
+            cookie=rule.cookie,
+            send_flow_removed=rule.send_flow_removed,
+            buffer_id=buffer_id,
+        )
+
+    # ==================================================================
+    # Flow teardown
+
+    def on_flow_removed(self, event: ofmsg.FlowRemoved) -> None:
+        session = self.sessions.by_id(event.cookie)
+        if session is None:
+            return
+        if event.packets > 0:
+            # The session carried traffic: both endpoints were alive
+            # until the idle timeout started counting (i.e. until
+            # idle_timeout before the removal, not until now).
+            active_until = self.sim.now - self.idle_timeout_s
+            for mac in (session.src_mac, session.dst_mac):
+                record = self.nib.host_by_mac(mac)
+                if record is not None:
+                    record.last_seen = max(record.last_seen, active_until)
+        self._teardown_session(
+            session,
+            skip_rule=(event.dpid, event.match),
+            packets=event.packets,
+            bytes_=event.bytes,
+        )
+
+    def _teardown_session(
+        self,
+        session: Session,
+        skip_rule: Optional[Tuple[int, object]] = None,
+        packets: int = 0,
+        bytes_: int = 0,
+    ) -> None:
+        for rule in session.rules:
+            if skip_rule is not None and (
+                rule.dpid == skip_rule[0] and rule.match == skip_rule[1]
+            ):
+                continue
+            if rule.dpid in self.switches:
+                self.send_flow_mod(
+                    rule.dpid,
+                    command=ofmsg.FlowMod.DELETE_STRICT,
+                    match=rule.match,
+                    priority=rule.priority,
+                )
+        self.balancer.release(session.flow)
+        self.balancer.release(session.reverse_flow)
+        self.sessions.end(session)
+        self.log.emit(
+            self.sim.now, EventKind.FLOW_END,
+            session=session.session_id, user_mac=session.src_mac,
+            packets=packets, bytes=bytes_,
+            duration=self.sim.now - session.created_at,
+        )
+
+    # ==================================================================
+    # Periodic maintenance
+
+    def _expire_hosts(self) -> None:
+        # A host with a live (unblocked) session is demonstrably
+        # present even if it has not ARPed lately -- keep it.
+        for record in self.nib.hosts.values():
+            if self.sim.now - record.last_seen <= self.nib.host_timeout_s:
+                continue
+            if any(
+                not session.blocked
+                for session in self.sessions.sessions_of_user(record.mac)
+            ):
+                record.last_seen = self.sim.now
+        for record in self.nib.expire_hosts(self.sim.now):
+            if not record.is_element:
+                self.log.emit(
+                    self.sim.now, EventKind.HOST_LEAVE,
+                    mac=record.mac, ip=record.ip,
+                )
+            for session in self.sessions.sessions_of_user(record.mac):
+                self._teardown_session(session)
+
+    def _expire_elements(self) -> None:
+        for record in self.registry.expire(self.sim.now):
+            self.log.emit(
+                self.sim.now, EventKind.ELEMENT_OFFLINE, mac=record.mac,
+                service_type=record.service_type,
+            )
+            orphaned = self.balancer.forget_element(record.mac)
+            if orphaned:
+                # Re-steer on next packet: kill the orphaned sessions.
+                for session in self.sessions.sessions_via_element(record.mac):
+                    self._teardown_session(session)
+
+    # ==================================================================
+    # Monitoring (port-stats polling -> link-load events)
+
+    def register_port_capacity(self, dpid: int, port: int, bps: float) -> None:
+        """Tell the monitor a port's line rate so it can normalize load."""
+        self._port_capacity[(dpid, port)] = bps
+
+    def _poll_stats(self) -> None:
+        for dpid in list(self.switches):
+            self.request_port_stats(dpid)
+
+    def on_port_stats(self, event: ofmsg.PortStatsReply) -> None:
+        now = self.sim.now
+        for port, stats in event.stats.items():
+            key = (event.dpid, port)
+            tx_bytes = int(stats["tx_bytes"])
+            previous = self._last_port_sample.get(key)
+            self._last_port_sample[key] = (tx_bytes, now)
+            if previous is None:
+                continue
+            prev_bytes, prev_time = previous
+            elapsed = now - prev_time
+            if elapsed <= 0:
+                continue
+            rate_bps = (tx_bytes - prev_bytes) * 8.0 / elapsed
+            capacity = self._port_capacity.get(key)
+            utilization = rate_bps / capacity if capacity else 0.0
+            if rate_bps > 0:
+                self.log.emit(
+                    now, EventKind.LINK_LOAD,
+                    dpid=event.dpid, port=port,
+                    rate_bps=rate_bps, utilization=min(1.0, utilization),
+                )
+
+    def on_flow_stats(self, event: ofmsg.FlowStatsReply) -> None:
+        for listener in self.flow_stats_listeners:
+            listener(event)
+
+    # ==================================================================
+    # Introspection
+
+    def status(self) -> dict:
+        """One-call overview used by examples and tests."""
+        return {
+            "nib": self.nib.summary(),
+            "registry": self.registry.summary(),
+            "sessions": len(self.sessions),
+            "counters": dict(self.counters),
+            "events": len(self.log),
+        }

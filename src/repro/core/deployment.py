@@ -1,0 +1,210 @@
+"""One-call assembly of a complete LiveSec network.
+
+:func:`build_livesec_network` wires a physical topology, the LiveSec
+controller with its secure channels, and a fleet of provisioned
+service elements into a ready-to-run :class:`LiveSecNetwork`.  This is
+the programmatic equivalent of the paper's Section V.A deployment
+procedure and the entry point every example and benchmark uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import LiveSecController
+from repro.core.policy import PolicyTable
+from repro.core.visualization import MonitoringComponent
+from repro.elements import ELEMENT_TYPES
+from repro.elements.base import ServiceElement
+from repro.net.host import Host
+from repro.net.node import connect
+from repro.net.simulator import Simulator
+from repro.net.topologies import Topology, fit_building, linear, star
+from repro.openflow.channel import SecureChannel
+from repro.openflow.switch import OpenFlowSwitch
+
+DEFAULT_WARMUP_S = 1.5
+ELEMENT_LINK_BPS = 1e9  # VM virtio into the local OvS
+
+
+@dataclass
+class LiveSecNetwork:
+    """A running LiveSec deployment: substrate + controller + elements."""
+
+    sim: Simulator
+    topology: Topology
+    controller: LiveSecController
+    monitoring: MonitoringComponent
+    elements: List[ServiceElement] = field(default_factory=list)
+    channels: Dict[int, SecureChannel] = field(default_factory=dict)
+    started: bool = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self, warmup_s: float = DEFAULT_WARMUP_S) -> None:
+        """Run topology discovery to convergence, then bring hosts up.
+
+        After ``start()`` returns, the controller's NIB holds the
+        full-mesh logical topology and every host/element location, so
+        first packets route immediately.
+        """
+        if self.started:
+            raise RuntimeError("already started")
+        self.started = True
+        # Phase 1: LLDP discovery over the AS layer.
+        self.sim.run(until=self.sim.now + warmup_s)
+        # Phase 2: announce elements (their daemons have been reporting
+        # already; re-announce so the legacy fabric learns their MACs
+        # now that uplinks are known), then hosts.
+        self.controller.refresh_announcements()
+        for host in self.topology.hosts:
+            host.announce()
+        self.sim.run(until=self.sim.now + 0.5)
+
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation by ``duration_s`` seconds."""
+        self.sim.run(until=self.sim.now + duration_s)
+
+    # ------------------------------------------------------------------
+    # Element management
+
+    def add_element(
+        self,
+        element_type: str,
+        switch: OpenFlowSwitch,
+        name: Optional[str] = None,
+        **element_kwargs,
+    ) -> ServiceElement:
+        """Create, wire, and provision one VM-based service element."""
+        try:
+            factory = ELEMENT_TYPES[element_type]
+        except KeyError:
+            raise ValueError(
+                f"unknown element type {element_type!r};"
+                f" choose from {sorted(ELEMENT_TYPES)}"
+            ) from None
+        mac, ip = self.topology.allocator.host_addresses()
+        if name is None:
+            name = f"{element_type}-{len(self.elements) + 1}"
+        element = factory(self.sim, name, mac, ip, **element_kwargs)
+        switch_port = switch.next_free_port().number
+        connect(
+            self.sim, switch, element,
+            bandwidth_bps=ELEMENT_LINK_BPS,
+            delay_s=5e-6,
+            port_a=switch_port,
+            port_b=element.next_free_port().number,
+        )
+        element.provision(self.controller.registry.issue_certificate(mac))
+        self.elements.append(element)
+        self._register_capacity(switch)
+        return element
+
+    def elements_of_type(self, element_type: str) -> List[ServiceElement]:
+        return [e for e in self.elements if e.service_type == element_type]
+
+    # ------------------------------------------------------------------
+    # Host/user management
+
+    def add_user(self, name: str, switch, wireless: bool = False,
+                 bandwidth_bps: float = 100e6) -> Host:
+        """Attach a new user host at runtime (it must ``announce()``)."""
+        host = self.topology.add_host(
+            name, switch, bandwidth_bps=bandwidth_bps, wireless=wireless
+        )
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.topology.host_by_name(name)
+
+    @property
+    def gateway(self) -> Host:
+        gw = self.topology.gateway
+        if gw is None:
+            raise RuntimeError("topology has no gateway")
+        return gw
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _connect_channels(self, control_latency_s: float) -> None:
+        for switch in self.topology.all_openflow_switches():
+            channel = SecureChannel(
+                self.sim, switch, self.controller, latency_s=control_latency_s
+            )
+            channel.connect()
+            self.channels[switch.dpid] = channel
+            self._register_capacity(switch)
+
+    def _register_capacity(self, switch) -> None:
+        for number, port in switch.ports.items():
+            if port.link is not None:
+                self.controller.register_port_capacity(
+                    switch.dpid, number, port.link.bandwidth_bps
+                )
+
+    def status(self) -> dict:
+        return self.controller.status()
+
+
+_TOPOLOGY_BUILDERS = {
+    "linear": linear,
+    "star": star,
+    "fit": fit_building,
+}
+
+
+def build_livesec_network(
+    topology: str = "linear",
+    policies: Optional[PolicyTable] = None,
+    dispatcher: str = "minload",
+    elements: Sequence[Tuple[str, int]] = (),
+    control_latency_s: float = 0.5e-3,
+    idle_timeout_s: float = 5.0,
+    host_timeout_s: float = 120.0,
+    stats_interval_s: Optional[float] = 1.0,
+    on_no_element: str = "allow",
+    sim: Optional[Simulator] = None,
+    **topology_kwargs,
+) -> LiveSecNetwork:
+    """Build (but do not start) a LiveSec deployment.
+
+    ``topology`` is ``'linear' | 'star' | 'fit'`` (kwargs forwarded to
+    the builder in :mod:`repro.net.topologies`).  ``elements`` lists
+    ``(element_type, count)`` pairs distributed round-robin over the
+    AS switches -- e.g. the paper-scale fleet is
+    ``[("ids", 160), ("l7", 40)]`` on the ``'fit'`` topology.
+
+    Call :meth:`LiveSecNetwork.start` before sending traffic.
+    """
+    if sim is None:
+        sim = Simulator()
+    try:
+        builder = _TOPOLOGY_BUILDERS[topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from"
+            f" {sorted(_TOPOLOGY_BUILDERS)}"
+        ) from None
+    topo = builder(sim, **topology_kwargs)
+    controller = LiveSecController(
+        sim,
+        policies=policies,
+        dispatcher=dispatcher,
+        idle_timeout_s=idle_timeout_s,
+        host_timeout_s=host_timeout_s,
+        stats_interval_s=stats_interval_s,
+        on_no_element=on_no_element,
+    )
+    monitoring = MonitoringComponent(controller.log)
+    network = LiveSecNetwork(
+        sim=sim, topology=topo, controller=controller, monitoring=monitoring
+    )
+    network._connect_channels(control_latency_s)
+    for element_type, count in elements:
+        for index in range(count):
+            switch = topo.as_switches[index % len(topo.as_switches)]
+            network.add_element(element_type, switch)
+    return network

@@ -1,0 +1,110 @@
+"""Typed network events and the global event log.
+
+Section III.D.2: "In LiveSec, we can master the network events by only
+first few packets.  Because the log information is global, it is
+convenient to manage the network by visualizing the network
+environment, and locate the network problems by replaying the history
+events."  Every controller subsystem appends here; the monitoring /
+visualization layer subscribes and can reconstruct state at any past
+time from the ordered log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+class EventKind:
+    """Event type names (string constants, so logs stay greppable)."""
+
+    SWITCH_JOIN = "switch-join"
+    SWITCH_LEAVE = "switch-leave"
+    LINK_UP = "link-up"
+    LINK_DOWN = "link-down"
+    HOST_JOIN = "host-join"
+    HOST_LEAVE = "host-leave"
+    HOST_MOVE = "host-move"
+    ELEMENT_ONLINE = "element-online"
+    ELEMENT_OFFLINE = "element-offline"
+    ELEMENT_LOAD = "element-load"
+    ELEMENT_REJECTED = "element-rejected"
+    FLOW_START = "flow-start"
+    FLOW_END = "flow-end"
+    FLOW_STEERED = "flow-steered"
+    FLOW_BLOCKED = "flow-blocked"
+    ATTACK_DETECTED = "attack-detected"
+    PROTOCOL_IDENTIFIED = "protocol-identified"
+    LINK_LOAD = "link-load"
+    POLICY_CHANGED = "policy-changed"
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One immutable entry in the global event log."""
+
+    time: float
+    kind: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
+        return f"[{self.time:10.4f}] {self.kind:<22} {details}"
+
+
+Subscriber = Callable[[NetworkEvent], None]
+
+
+class EventLog:
+    """An append-only, time-ordered event log with subscriptions."""
+
+    def __init__(self) -> None:
+        self._events: List[NetworkEvent] = []
+        self._subscribers: List[Subscriber] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, time: float, kind: str, **data: object) -> NetworkEvent:
+        """Append an event and notify subscribers."""
+        event = NetworkEvent(time=time, kind=kind, data=dict(data))
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.append(subscriber)
+
+    def all(self) -> List[NetworkEvent]:
+        return list(self._events)
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        where: Optional[Callable[[NetworkEvent], bool]] = None,
+    ) -> List[NetworkEvent]:
+        """Filter the log by kind and/or time window and/or predicate."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            if where is not None and not where(event):
+                continue
+            result.append(event)
+        return result
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def tail(self, n: int = 10) -> List[NetworkEvent]:
+        return self._events[-n:]

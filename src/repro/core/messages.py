@@ -1,0 +1,203 @@
+"""The service-element <-> controller message channel (Section III.D.1).
+
+Service elements communicate with the LiveSec controller *in band*: a
+service daemon on the element "encapsulates the desired message in a
+UDP packet with specialized format and identifier"; because the
+controller never installs a flow entry for this UDP flow, every message
+is punted to it as a PacketIn.  Two message kinds exist:
+
+* **online** -- periodic liveness + service type + load (CPU, memory,
+  packets per second),
+* **event report** -- emitted when the element produces a result
+  (attack detected, protocol identified), carrying the flow's tuple
+  and the verdict.
+
+Messages carry a certificate issued by the controller; messages with a
+bad certificate are rejected and the offending element's traffic is
+dropped at its ingress switch (the paper's certification mechanism).
+
+The wire format is a pipe-separated ASCII encoding -- human-readable in
+packet dumps, trivially parseable, versioned by the leading magic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net.packet import FlowNineTuple
+
+MAGIC = b"LIVESEC1"
+SERVICE_MESSAGE_PORT = 9099
+# The nominal L2/L3 destination of element messages.  Any address works
+# (the ingress AS switch punts the flow regardless); using fixed ones
+# keeps element frames recognizable in traces.
+CONTROLLER_MAC = "02:4c:53:00:00:01"
+CONTROLLER_IP = "10.255.255.253"
+
+
+def issue_certificate(secret: str, element_mac: str) -> str:
+    """The certificate the controller issues to a legitimate element."""
+    digest = hashlib.sha256(f"{secret}|{element_mac}".encode()).hexdigest()
+    return digest[:16]
+
+
+@dataclass
+class OnlineMessage:
+    """Periodic liveness + load report from a service element."""
+
+    element_mac: str
+    certificate: str
+    service_type: str  # "ids" | "l7" | "firewall" | ...
+    cpu: float  # 0..1 utilization
+    memory: float  # 0..1 footprint
+    pps: float  # processed packets per second
+    active_flows: int = 0
+
+
+@dataclass
+class EventReportMessage:
+    """A service result: attack found, protocol identified, ..."""
+
+    element_mac: str
+    certificate: str
+    kind: str  # "attack" | "protocol" | "virus" | ...
+    flow: Optional[FlowNineTuple]
+    detail: Dict[str, str] = field(default_factory=dict)
+
+
+class MessageFormatError(ValueError):
+    """Raised when a payload is not a well-formed LiveSec message."""
+
+
+def is_service_message(payload: bytes) -> bool:
+    """Cheap check used by the controller's message-parsing module to
+    decide whether a punted UDP frame is element traffic."""
+    return payload.startswith(MAGIC + b"|")
+
+
+def encode_online(message: OnlineMessage) -> bytes:
+    parts = [
+        MAGIC.decode(),
+        message.certificate,
+        "ONLINE",
+        f"mac={message.element_mac}",
+        f"type={message.service_type}",
+        f"cpu={message.cpu:.4f}",
+        f"mem={message.memory:.4f}",
+        f"pps={message.pps:.1f}",
+        f"flows={message.active_flows}",
+    ]
+    return "|".join(parts).encode()
+
+
+def encode_event(message: EventReportMessage) -> bytes:
+    parts = [
+        MAGIC.decode(),
+        message.certificate,
+        "EVENT",
+        f"mac={message.element_mac}",
+        f"kind={message.kind}",
+        f"flow={_encode_flow(message.flow)}",
+    ]
+    # Detail keys are namespaced with "d." on the wire so they can
+    # never shadow the protocol fields above.
+    parts.extend(
+        f"d.{key}={value}" for key, value in sorted(message.detail.items())
+    )
+    return "|".join(parts).encode()
+
+
+def decode(payload: bytes):
+    """Parse a service message payload.
+
+    Returns an :class:`OnlineMessage` or :class:`EventReportMessage`.
+    Raises :class:`MessageFormatError` on malformed input (the
+    controller treats those as illegitimate traffic).
+    """
+    try:
+        text = payload.decode()
+    except UnicodeDecodeError as exc:
+        raise MessageFormatError("not ASCII") from exc
+    fields_list = text.split("|")
+    if len(fields_list) < 3 or fields_list[0] != MAGIC.decode():
+        raise MessageFormatError(f"bad magic in {text[:40]!r}")
+    certificate = fields_list[1]
+    kind = fields_list[2]
+    kv = _parse_kv(fields_list[3:])
+    if kind == "ONLINE":
+        try:
+            return OnlineMessage(
+                element_mac=kv["mac"],
+                certificate=certificate,
+                service_type=kv["type"],
+                cpu=float(kv["cpu"]),
+                memory=float(kv["mem"]),
+                pps=float(kv["pps"]),
+                active_flows=int(kv.get("flows", "0")),
+            )
+        except (KeyError, ValueError) as exc:
+            raise MessageFormatError(f"bad ONLINE fields: {kv}") from exc
+    if kind == "EVENT":
+        try:
+            flow = _decode_flow(kv.pop("flow"))
+            mac = kv.pop("mac")
+            event_kind = kv.pop("kind")
+        except KeyError as exc:
+            raise MessageFormatError(f"bad EVENT fields: {kv}") from exc
+        detail = {
+            key[2:]: value
+            for key, value in kv.items()
+            if key.startswith("d.")
+        }
+        return EventReportMessage(
+            element_mac=mac,
+            certificate=certificate,
+            kind=event_kind,
+            flow=flow,
+            detail=detail,
+        )
+    raise MessageFormatError(f"unknown message kind {kind!r}")
+
+
+def _parse_kv(parts) -> Dict[str, str]:
+    kv: Dict[str, str] = {}
+    for part in parts:
+        if "=" not in part:
+            raise MessageFormatError(f"bad field {part!r}")
+        key, _, value = part.partition("=")
+        kv[key] = value
+    return kv
+
+
+def _encode_flow(flow: Optional[FlowNineTuple]) -> str:
+    if flow is None:
+        return "-"
+    return ",".join("" if item is None else str(item) for item in flow)
+
+
+def _decode_flow(text: str) -> Optional[FlowNineTuple]:
+    if text == "-":
+        return None
+    parts = text.split(",")
+    if len(parts) != 9:
+        raise MessageFormatError(f"bad flow tuple {text!r}")
+
+    def opt_int(value: str) -> Optional[int]:
+        return int(value) if value else None
+
+    def opt_str(value: str) -> Optional[str]:
+        return value or None
+
+    return FlowNineTuple(
+        vlan=opt_int(parts[0]),
+        dl_src=parts[1],
+        dl_dst=parts[2],
+        dl_type=int(parts[3]),
+        nw_src=opt_str(parts[4]),
+        nw_dst=opt_str(parts[5]),
+        nw_proto=opt_int(parts[6]),
+        tp_src=opt_int(parts[7]),
+        tp_dst=opt_int(parts[8]),
+    )

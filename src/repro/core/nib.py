@@ -1,0 +1,249 @@
+"""Network Information Base: the controller's global state.
+
+Section I: "LiveSec employs a global controller to obtain the entire
+network information, e.g. network logical topology and Network
+Information Base (NIB)".  The NIB unifies the paper's *routing table*
+(host locations learned from ARP, Section III.C.2) and *link table*
+(logical port mapping between AS switches, learned from LLDP and
+bidirectional ARP), plus the switch inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+DEFAULT_HOST_TIMEOUT_S = 120.0
+
+
+@dataclass
+class HostRecord:
+    """The routing-table row for one discovered host.
+
+    ``dpid``/``port`` give the AS switch and Network-Periphery port the
+    host is attached to -- the paper's ``src-sw`` and ``src-sw-inport``.
+    """
+
+    mac: str
+    ip: Optional[str]
+    dpid: int
+    port: int
+    first_seen: float
+    last_seen: float
+    is_element: bool = False
+
+
+@dataclass
+class LogicalLink:
+    """The link-table row between two AS switches.
+
+    ``src_port`` is the paper's ``src-sw-outport`` (the Legacy-Switching
+    port of the source switch); ``dst_port`` is ``dst-sw-inport``.
+    """
+
+    src_dpid: int
+    src_port: int
+    dst_dpid: int
+    dst_port: int
+    last_seen: float
+
+
+@dataclass
+class SwitchRecord:
+    """One connected AS switch or OF Wi-Fi AP."""
+
+    dpid: int
+    name: str
+    ports: Tuple[int, ...]
+    joined_at: float
+
+
+class NetworkInformationBase:
+    """Unified, queryable view of switches, hosts and logical links."""
+
+    def __init__(self, host_timeout_s: float = DEFAULT_HOST_TIMEOUT_S):
+        self.host_timeout_s = host_timeout_s
+        self.hosts: Dict[str, HostRecord] = {}  # keyed by MAC
+        self._hosts_by_ip: Dict[str, str] = {}  # ip -> mac
+        self.links: Dict[Tuple[int, int], LogicalLink] = {}
+        self.switches: Dict[int, SwitchRecord] = {}
+        self._uplink_ports: Dict[int, set] = {}
+
+    # ------------------------------------------------------------------
+    # Switches
+
+    def add_switch(self, dpid: int, name: str, ports: Tuple[int, ...],
+                   now: float) -> SwitchRecord:
+        record = SwitchRecord(dpid=dpid, name=name, ports=ports, joined_at=now)
+        self.switches[dpid] = record
+        return record
+
+    def remove_switch(self, dpid: int) -> None:
+        self.switches.pop(dpid, None)
+        for key in [k for k in self.links if dpid in k]:
+            del self.links[key]
+        self._recompute_uplinks()
+        for mac in [m for m, h in self.hosts.items() if h.dpid == dpid]:
+            self.remove_host(mac)
+
+    # ------------------------------------------------------------------
+    # Hosts (the routing table)
+
+    def learn_host(
+        self,
+        mac: str,
+        ip: Optional[str],
+        dpid: int,
+        port: int,
+        now: float,
+        is_element: bool = False,
+    ) -> Tuple[HostRecord, bool]:
+        """Record or refresh a host location.
+
+        Returns ``(record, is_new)`` where ``is_new`` is also True for
+        a host that moved to a different switch/port (VM migration,
+        Section III.D.1).
+        """
+        existing = self.hosts.get(mac)
+        moved = existing is not None and (
+            existing.dpid != dpid or existing.port != port
+        )
+        if existing is None or moved:
+            record = HostRecord(
+                mac=mac,
+                ip=ip or (existing.ip if existing else None),
+                dpid=dpid,
+                port=port,
+                first_seen=existing.first_seen if existing else now,
+                last_seen=now,
+                is_element=is_element or (existing.is_element if existing else False),
+            )
+            self.hosts[mac] = record
+            if record.ip:
+                self._hosts_by_ip[record.ip] = mac
+            return record, True
+        existing.last_seen = now
+        if ip:
+            existing.ip = ip
+            self._hosts_by_ip[ip] = mac
+        if is_element:
+            existing.is_element = True
+        return existing, False
+
+    def remove_host(self, mac: str) -> Optional[HostRecord]:
+        record = self.hosts.pop(mac, None)
+        if record is not None and record.ip:
+            self._hosts_by_ip.pop(record.ip, None)
+        return record
+
+    def host_by_mac(self, mac: str) -> Optional[HostRecord]:
+        return self.hosts.get(mac)
+
+    def host_by_ip(self, ip: str) -> Optional[HostRecord]:
+        mac = self._hosts_by_ip.get(ip)
+        return self.hosts.get(mac) if mac else None
+
+    def expire_hosts(self, now: float) -> List[HostRecord]:
+        """Drop hosts not heard from within the timeout (the paper's
+        'removed from the routing table due to ARP packet timeout')."""
+        stale = [
+            record for record in self.hosts.values()
+            if now - record.last_seen > self.host_timeout_s
+        ]
+        for record in stale:
+            self.remove_host(record.mac)
+        return stale
+
+    # ------------------------------------------------------------------
+    # Links (the link table)
+
+    def learn_link(self, src_dpid: int, src_port: int, dst_dpid: int,
+                   dst_port: int, now: float) -> LogicalLink:
+        link = LogicalLink(src_dpid, src_port, dst_dpid, dst_port, now)
+        existing = self.links.get((src_dpid, dst_dpid))
+        # Dual-homed pairs are seen through several port pairs; keep
+        # the lowest pair as the canonical mapping for determinism.
+        if existing is None or (src_port, dst_port) <= (
+            existing.src_port, existing.dst_port
+        ):
+            self.links[(src_dpid, dst_dpid)] = link
+        else:
+            existing.last_seen = now
+        # Remember *every* Legacy-Switching port so periphery
+        # classification never mistakes a redundant uplink for a host
+        # port.
+        self._uplink_ports.setdefault(src_dpid, set()).add(src_port)
+        self._uplink_ports.setdefault(dst_dpid, set()).add(dst_port)
+        return link
+
+    def rebuild_links(self, confirmed_links, now: float) -> None:
+        """Replace the link table with what discovery still confirms.
+
+        ``confirmed_links`` is an iterable of objects with
+        ``src_dpid/src_port/dst_dpid/dst_port`` attributes.
+        """
+        self.links = {}
+        self._uplink_ports = {}
+        for link in confirmed_links:
+            self.learn_link(
+                link.src_dpid, link.src_port, link.dst_dpid, link.dst_port, now
+            )
+
+    def remove_link(self, src_dpid: int, dst_dpid: int) -> None:
+        self.links.pop((src_dpid, dst_dpid), None)
+        self._recompute_uplinks()
+
+    def _recompute_uplinks(self) -> None:
+        self._uplink_ports = {}
+        for link in self.links.values():
+            self._uplink_ports.setdefault(link.src_dpid, set()).add(link.src_port)
+            self._uplink_ports.setdefault(link.dst_dpid, set()).add(link.dst_port)
+
+    def link(self, src_dpid: int, dst_dpid: int) -> Optional[LogicalLink]:
+        return self.links.get((src_dpid, dst_dpid))
+
+    def uplink_ports(self, dpid: int) -> frozenset:
+        """Every Legacy-Switching port of a switch seen in the link
+        table (a dual-homed switch has more than one)."""
+        return frozenset(self._uplink_ports.get(dpid, ()))
+
+    def uplink_port(self, dpid: int) -> Optional[int]:
+        """The *primary* Legacy-Switching port of a switch: the lowest
+        numbered uplink, used consistently for announcements, egress
+        matches and uplink outputs so the legacy fabric's MAC learning
+        and our flow matches agree on one path."""
+        ports = self._uplink_ports.get(dpid)
+        if not ports:
+            return None
+        return min(ports)
+
+    def is_full_mesh(self) -> bool:
+        """Whether every pair of known switches has a discovered link
+        in both directions (the paper's full-mesh logical topology)."""
+        dpids = list(self.switches)
+        if len(dpids) < 2:
+            return True
+        return all(
+            (a, b) in self.links
+            for a in dpids
+            for b in dpids
+            if a != b
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+
+    def user_hosts(self) -> Iterable[HostRecord]:
+        return [h for h in self.hosts.values() if not h.is_element]
+
+    def element_hosts(self) -> Iterable[HostRecord]:
+        return [h for h in self.hosts.values() if h.is_element]
+
+    def summary(self) -> dict:
+        return {
+            "switches": len(self.switches),
+            "links": len(self.links),
+            "hosts": len(self.hosts),
+            "elements": sum(1 for h in self.hosts.values() if h.is_element),
+            "full_mesh": self.is_full_mesh(),
+        }

@@ -1,0 +1,158 @@
+"""The global policy table (Sections IV.A, III.A).
+
+"The LiveSec controller keeps a global policy table that is
+pre-configured and managed by the network administrator.  The policy
+table describes whether or which security service element should be
+traversed for various end-to-end flows."
+
+A :class:`Policy` couples a :class:`FlowSelector` (which end-to-end
+flows it governs) with an action: allow, drop, or steer through a
+*chain* of service types.  Policies are consulted on the first packet
+of each flow, highest priority first; the first match wins.  The
+default when nothing matches is configurable and defaults to allow
+(plain end-to-end routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.net.packet import FlowNineTuple
+
+
+class PolicyAction(Enum):
+    """What to do with flows a policy selects."""
+
+    ALLOW = "allow"
+    DROP = "drop"
+    CHAIN = "chain"
+
+
+class Granularity(Enum):
+    """Load-balancing granularity for steered flows (Section IV.B)."""
+
+    FLOW = "flow"
+    USER = "user"
+
+
+@dataclass(frozen=True)
+class FlowSelector:
+    """A predicate over the 9-tuple.  ``None`` fields match anything.
+
+    ``src_ip_prefix`` / ``dst_ip_prefix`` do string-prefix matching
+    ("10.0." style), which stands in for CIDR work-zone selectors.
+    """
+
+    src_mac: Optional[str] = None
+    dst_mac: Optional[str] = None
+    src_ip: Optional[str] = None
+    dst_ip: Optional[str] = None
+    src_ip_prefix: Optional[str] = None
+    dst_ip_prefix: Optional[str] = None
+    nw_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+    vlan: Optional[int] = None
+
+    def matches(self, flow: FlowNineTuple) -> bool:
+        checks = (
+            (self.src_mac, flow.dl_src),
+            (self.dst_mac, flow.dl_dst),
+            (self.src_ip, flow.nw_src),
+            (self.dst_ip, flow.nw_dst),
+            (self.nw_proto, flow.nw_proto),
+            (self.tp_src, flow.tp_src),
+            (self.tp_dst, flow.tp_dst),
+            (self.vlan, flow.vlan),
+        )
+        for want, got in checks:
+            if want is not None and want != got:
+                return False
+        if self.src_ip_prefix is not None:
+            if flow.nw_src is None or not flow.nw_src.startswith(self.src_ip_prefix):
+                return False
+        if self.dst_ip_prefix is not None:
+            if flow.nw_dst is None or not flow.nw_dst.startswith(self.dst_ip_prefix):
+                return False
+        return True
+
+    def specificity(self) -> int:
+        """How many fields are pinned (used as a tie-break)."""
+        return sum(
+            1
+            for value in (
+                self.src_mac, self.dst_mac, self.src_ip, self.dst_ip,
+                self.src_ip_prefix, self.dst_ip_prefix, self.nw_proto,
+                self.tp_src, self.tp_dst, self.vlan,
+            )
+            if value is not None
+        )
+
+
+@dataclass
+class Policy:
+    """One row of the global policy table."""
+
+    name: str
+    selector: FlowSelector
+    action: PolicyAction
+    service_chain: Tuple[str, ...] = ()
+    granularity: Granularity = Granularity.FLOW
+    inspect_reply: bool = True
+    priority: int = 100
+    hits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action is PolicyAction.CHAIN and not self.service_chain:
+            raise ValueError(f"policy {self.name!r}: CHAIN needs a service_chain")
+        if self.action is not PolicyAction.CHAIN and self.service_chain:
+            raise ValueError(
+                f"policy {self.name!r}: service_chain requires action=CHAIN"
+            )
+
+
+class PolicyTable:
+    """Ordered policy lookup: highest priority, then most specific."""
+
+    def __init__(self, default_action: PolicyAction = PolicyAction.ALLOW):
+        if default_action is PolicyAction.CHAIN:
+            raise ValueError("default action cannot be CHAIN")
+        self._policies: List[Policy] = []
+        self.default_action = default_action
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __iter__(self):
+        return iter(self._policies)
+
+    def add(self, policy: Policy) -> None:
+        if any(existing.name == policy.name for existing in self._policies):
+            raise ValueError(f"duplicate policy name {policy.name!r}")
+        self._policies.append(policy)
+        self._policies.sort(
+            key=lambda p: (-p.priority, -p.selector.specificity())
+        )
+        self.version += 1
+
+    def remove(self, name: str) -> Optional[Policy]:
+        for index, policy in enumerate(self._policies):
+            if policy.name == name:
+                self.version += 1
+                return self._policies.pop(index)
+        return None
+
+    def lookup(self, flow: FlowNineTuple) -> Optional[Policy]:
+        """The winning policy for a flow, or None (-> default action)."""
+        for policy in self._policies:
+            if policy.selector.matches(flow):
+                policy.hits += 1
+                return policy
+        return None
+
+    def effective_action(self, flow: FlowNineTuple) -> PolicyAction:
+        policy = self.lookup(flow)
+        return policy.action if policy is not None else self.default_action

@@ -1,0 +1,126 @@
+"""Policy-table persistence.
+
+Section IV.A: the global policy table "is pre-configured and managed
+by the network administrator".  In practice that means it lives in a
+config file; this module round-trips a :class:`PolicyTable` through a
+plain JSON document so deployments can be versioned, reviewed and
+reloaded.
+
+Format (one object per policy)::
+
+    {
+      "default_action": "allow",
+      "policies": [
+        {
+          "name": "inspect-internet",
+          "priority": 100,
+          "action": "chain",
+          "service_chain": ["ids"],
+          "granularity": "flow",
+          "inspect_reply": true,
+          "selector": {"dst_ip": "10.255.255.254"}
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict
+
+from repro.core.policy import (
+    FlowSelector,
+    Granularity,
+    Policy,
+    PolicyAction,
+    PolicyTable,
+)
+
+
+class PolicyFormatError(ValueError):
+    """Raised when a policy document is malformed."""
+
+
+def table_to_dict(table: PolicyTable) -> Dict[str, object]:
+    """Serialize a table to a JSON-compatible dict."""
+    return {
+        "default_action": table.default_action.value,
+        "policies": [
+            {
+                "name": policy.name,
+                "priority": policy.priority,
+                "action": policy.action.value,
+                "service_chain": list(policy.service_chain),
+                "granularity": policy.granularity.value,
+                "inspect_reply": policy.inspect_reply,
+                "selector": {
+                    key: value
+                    for key, value in dataclasses.asdict(
+                        policy.selector
+                    ).items()
+                    if value is not None
+                },
+            }
+            for policy in table
+        ],
+    }
+
+
+def table_from_dict(document: Dict[str, object]) -> PolicyTable:
+    """Deserialize a table, validating every field."""
+    if not isinstance(document, dict):
+        raise PolicyFormatError("policy document must be an object")
+    try:
+        default = PolicyAction(document.get("default_action", "allow"))
+    except ValueError as exc:
+        raise PolicyFormatError(str(exc)) from exc
+    if default is PolicyAction.CHAIN:
+        raise PolicyFormatError("default action cannot be 'chain'")
+    table = PolicyTable(default_action=default)
+    entries = document.get("policies", [])
+    if not isinstance(entries, list):
+        raise PolicyFormatError("'policies' must be a list")
+    selector_fields = {f.name for f in dataclasses.fields(FlowSelector)}
+    for entry in entries:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise PolicyFormatError(f"bad policy entry: {entry!r}")
+        selector_doc = entry.get("selector", {})
+        unknown = set(selector_doc) - selector_fields
+        if unknown:
+            raise PolicyFormatError(
+                f"unknown selector fields in {entry['name']!r}: {sorted(unknown)}"
+            )
+        try:
+            policy = Policy(
+                name=str(entry["name"]),
+                selector=FlowSelector(**selector_doc),
+                action=PolicyAction(entry.get("action", "allow")),
+                service_chain=tuple(entry.get("service_chain", ())),
+                granularity=Granularity(entry.get("granularity", "flow")),
+                inspect_reply=bool(entry.get("inspect_reply", True)),
+                priority=int(entry.get("priority", 100)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise PolicyFormatError(
+                f"invalid policy {entry.get('name')!r}: {exc}"
+            ) from exc
+        table.add(policy)
+    return table
+
+
+def save_policies(table: PolicyTable, path: str) -> None:
+    """Write a table to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(table_to_dict(table), handle, indent=2)
+
+
+def load_policies(path: str) -> PolicyTable:
+    """Read a table from a JSON file."""
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise PolicyFormatError(f"not valid JSON: {exc}") from exc
+    return table_from_dict(document)

@@ -1,0 +1,118 @@
+"""Bidirectional session tracking (Section III.C.3).
+
+"In fact, bidirectional flows can be simultaneously handled as a
+session.  For the request flow, the 9-tuple flow information can be
+utilized ... to construct the 9-tuple flow information of the
+corresponding reply flow based on the predefined session policy."
+
+A :class:`Session` records both directions of one end-to-end
+connection, the policy that governed it, the service elements it was
+steered through, and every flow entry installed for it -- so teardown
+(idle timeout, policy revocation, element failure) can remove exactly
+the right state everywhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.routing import RuleSpec
+from repro.net.packet import FlowNineTuple
+
+
+@dataclass
+class Session:
+    """One live end-to-end connection managed by the controller."""
+
+    session_id: int
+    flow: FlowNineTuple  # request direction
+    reverse_flow: FlowNineTuple
+    src_mac: str
+    dst_mac: str
+    policy_name: Optional[str]
+    element_macs: Tuple[str, ...]
+    rules: List[RuleSpec]
+    created_at: float
+    blocked: bool = False
+    application: Optional[str] = None  # filled in by L7 identification
+
+    @property
+    def is_steered(self) -> bool:
+        return bool(self.element_macs)
+
+
+class SessionTable:
+    """Sessions indexed by either direction's 9-tuple and by cookie."""
+
+    def __init__(self) -> None:
+        self._by_flow: Dict[FlowNineTuple, Session] = {}
+        self._by_id: Dict[int, Session] = {}
+        self._ids = itertools.count(1)
+        self.created = 0
+        self.ended = 0
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def create(
+        self,
+        flow: FlowNineTuple,
+        src_mac: str,
+        dst_mac: str,
+        policy_name: Optional[str],
+        element_macs: Tuple[str, ...],
+        rules: List[RuleSpec],
+        now: float,
+        session_id: Optional[int] = None,
+    ) -> Session:
+        session = Session(
+            session_id=session_id if session_id is not None else self.next_id(),
+            flow=flow,
+            reverse_flow=flow.reversed(),
+            src_mac=src_mac,
+            dst_mac=dst_mac,
+            policy_name=policy_name,
+            element_macs=element_macs,
+            rules=rules,
+            created_at=now,
+        )
+        self._by_flow[session.flow] = session
+        self._by_flow[session.reverse_flow] = session
+        self._by_id[session.session_id] = session
+        self.created += 1
+        return session
+
+    def lookup(self, flow: FlowNineTuple) -> Optional[Session]:
+        """The session owning this flow (either direction)."""
+        return self._by_flow.get(flow)
+
+    def by_id(self, session_id: int) -> Optional[Session]:
+        return self._by_id.get(session_id)
+
+    def end(self, session: Session) -> None:
+        self._by_flow.pop(session.flow, None)
+        self._by_flow.pop(session.reverse_flow, None)
+        if self._by_id.pop(session.session_id, None) is not None:
+            self.ended += 1
+
+    def sessions_via_element(self, element_mac: str) -> List[Session]:
+        return [
+            session
+            for session in self._by_id.values()
+            if element_mac in session.element_macs
+        ]
+
+    def sessions_of_user(self, mac: str) -> List[Session]:
+        return [
+            session
+            for session in self._by_id.values()
+            if session.src_mac == mac or session.dst_mac == mac
+        ]

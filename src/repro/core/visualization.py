@@ -1,0 +1,235 @@
+"""Network visualization and history replay (Sections IV.D, V.B.4).
+
+The paper's WebUI shows, live: the (full-mesh) logical topology, user
+join/leave, link load, which user consumes which application service,
+and where attacks happen -- and can replay history.  The Flash/LAMP
+stack is replaced by an in-process monitoring component: it subscribes
+to the global :class:`~repro.core.events.EventLog` (the "monitoring
+component ... records it to the database"), maintains the live view,
+and reconstructs any past moment by replaying the ordered log.
+
+:func:`render_snapshot` produces the text rendering used by the
+examples and the Figure 7/8 benches.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.events import EventKind, EventLog, NetworkEvent
+
+
+@dataclass
+class UserView:
+    """What the WebUI shows about one user."""
+
+    mac: str
+    ip: Optional[str]
+    dpid: int
+    online: bool = True
+    applications: List[str] = field(default_factory=list)
+    attacks: int = 0
+    blocked: bool = False
+
+
+@dataclass
+class ElementView:
+    """What the WebUI shows about one service element."""
+
+    mac: str
+    service_type: str
+    dpid: int
+    online: bool = True
+    cpu: float = 0.0
+    pps: float = 0.0
+
+
+@dataclass
+class Snapshot:
+    """The WebUI's world state at one moment."""
+
+    time: float
+    switches: List[int] = field(default_factory=list)
+    links: List[Tuple[int, int]] = field(default_factory=list)
+    users: Dict[str, UserView] = field(default_factory=dict)
+    elements: Dict[str, ElementView] = field(default_factory=dict)
+    link_loads: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    active_attacks: List[dict] = field(default_factory=list)
+
+    def online_users(self) -> List[UserView]:
+        return [u for u in self.users.values() if u.online]
+
+    def full_mesh(self) -> bool:
+        dpids = self.switches
+        if len(dpids) < 2:
+            return True
+        have = set(self.links)
+        return all(
+            (a, b) in have for a in dpids for b in dpids if a != b
+        )
+
+
+class MonitoringComponent:
+    """Event-sourced live view + history replay."""
+
+    def __init__(self, log: EventLog):
+        self.log = log
+        self._state = Snapshot(time=0.0)
+        self.database: List[NetworkEvent] = []  # the "remote web server" DB
+        log.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Live view
+
+    def _on_event(self, event: NetworkEvent) -> None:
+        self.database.append(event)
+        _apply_event(self._state, event)
+
+    def snapshot(self) -> Snapshot:
+        """A deep copy of the current world state."""
+        return copy.deepcopy(self._state)
+
+    # ------------------------------------------------------------------
+    # History replay
+
+    def replay(self, until: Optional[float] = None) -> Snapshot:
+        """Reconstruct the world state as of time ``until`` purely from
+        the recorded event history."""
+        state = Snapshot(time=0.0)
+        for event in self.database:
+            if until is not None and event.time > until:
+                break
+            _apply_event(state, event)
+        if until is not None:
+            state.time = until
+        return state
+
+    def replay_series(self, times: List[float]) -> Iterator[Snapshot]:
+        """Snapshots at each requested time, replayed incrementally."""
+        state = Snapshot(time=0.0)
+        index = 0
+        events = self.database
+        for moment in times:
+            while index < len(events) and events[index].time <= moment:
+                _apply_event(state, events[index])
+                index += 1
+            state.time = moment
+            yield copy.deepcopy(state)
+
+
+def _apply_event(state: Snapshot, event: NetworkEvent) -> None:
+    """The WebUI state machine: fold one event into the snapshot."""
+    data = event.data
+    state.time = event.time
+    if event.kind == EventKind.SWITCH_JOIN:
+        dpid = int(data["dpid"])  # type: ignore[arg-type]
+        if dpid not in state.switches:
+            state.switches.append(dpid)
+    elif event.kind == EventKind.SWITCH_LEAVE:
+        dpid = int(data["dpid"])  # type: ignore[arg-type]
+        if dpid in state.switches:
+            state.switches.remove(dpid)
+        state.links = [l for l in state.links if dpid not in l]
+    elif event.kind == EventKind.LINK_UP:
+        pair = (int(data["src_dpid"]), int(data["dst_dpid"]))  # type: ignore[arg-type]
+        if pair not in state.links:
+            state.links.append(pair)
+    elif event.kind == EventKind.LINK_DOWN:
+        pair = (int(data["src_dpid"]), int(data["dst_dpid"]))  # type: ignore[arg-type]
+        if pair in state.links:
+            state.links.remove(pair)
+    elif event.kind == EventKind.HOST_JOIN:
+        mac = str(data["mac"])
+        state.users[mac] = UserView(
+            mac=mac,
+            ip=data.get("ip"),  # type: ignore[arg-type]
+            dpid=int(data["dpid"]),  # type: ignore[arg-type]
+            online=True,
+        )
+    elif event.kind == EventKind.HOST_MOVE:
+        mac = str(data["mac"])
+        if mac in state.users:
+            state.users[mac].dpid = int(data["dpid"])  # type: ignore[arg-type]
+    elif event.kind == EventKind.HOST_LEAVE:
+        mac = str(data["mac"])
+        if mac in state.users:
+            state.users[mac].online = False
+    elif event.kind == EventKind.ELEMENT_ONLINE:
+        mac = str(data["mac"])
+        state.elements[mac] = ElementView(
+            mac=mac,
+            service_type=str(data.get("service_type", "?")),
+            dpid=int(data.get("dpid", 0)),  # type: ignore[arg-type]
+            online=True,
+        )
+        state.users.pop(mac, None)  # elements are not users
+    elif event.kind == EventKind.ELEMENT_LOAD:
+        mac = str(data["mac"])
+        if mac in state.elements:
+            state.elements[mac].cpu = float(data.get("cpu", 0.0))  # type: ignore[arg-type]
+            state.elements[mac].pps = float(data.get("pps", 0.0))  # type: ignore[arg-type]
+    elif event.kind == EventKind.ELEMENT_OFFLINE:
+        mac = str(data["mac"])
+        if mac in state.elements:
+            state.elements[mac].online = False
+    elif event.kind == EventKind.PROTOCOL_IDENTIFIED:
+        mac = str(data.get("user_mac", ""))
+        app = str(data.get("application", "?"))
+        if mac in state.users and app not in state.users[mac].applications:
+            state.users[mac].applications.append(app)
+    elif event.kind == EventKind.ATTACK_DETECTED:
+        mac = str(data.get("user_mac", ""))
+        if mac in state.users:
+            state.users[mac].attacks += 1
+        state.active_attacks.append(dict(data))
+    elif event.kind == EventKind.FLOW_BLOCKED:
+        mac = str(data.get("user_mac", ""))
+        if mac in state.users:
+            state.users[mac].blocked = True
+    elif event.kind == EventKind.LINK_LOAD:
+        key = (int(data["dpid"]), int(data["port"]))  # type: ignore[arg-type]
+        state.link_loads[key] = float(data["utilization"])  # type: ignore[arg-type]
+
+
+def render_snapshot(snapshot: Snapshot) -> str:
+    """Text rendering of a snapshot (stands in for the Flash WebUI)."""
+    lines = [
+        f"=== LiveSec view @ t={snapshot.time:.2f}s ===",
+        f"switches: {sorted(snapshot.switches)}"
+        f"  logical full-mesh: {'yes' if snapshot.full_mesh() else 'NO'}",
+    ]
+    online = snapshot.online_users()
+    lines.append(f"users online: {len(online)}")
+    for user in sorted(online, key=lambda u: u.mac):
+        apps = ",".join(user.applications) or "-"
+        flags = []
+        if user.attacks:
+            flags.append(f"attacks={user.attacks}")
+        if user.blocked:
+            flags.append("BLOCKED")
+        lines.append(
+            f"  {user.mac} ip={user.ip or '?'} sw={user.dpid}"
+            f" apps={apps} {' '.join(flags)}".rstrip()
+        )
+    offline = [u for u in snapshot.users.values() if not u.online]
+    if offline:
+        lines.append(f"users left: {sorted(u.mac for u in offline)}")
+    lines.append(f"service elements: {len(snapshot.elements)}")
+    for element in sorted(snapshot.elements.values(), key=lambda e: e.mac):
+        status = "up" if element.online else "DOWN"
+        lines.append(
+            f"  {element.mac} type={element.service_type} sw={element.dpid}"
+            f" cpu={element.cpu:.2f} pps={element.pps:.0f} [{status}]"
+        )
+    if snapshot.link_loads:
+        hot = sorted(
+            snapshot.link_loads.items(), key=lambda kv: -kv[1]
+        )[:5]
+        lines.append("hottest links:")
+        for (dpid, port), load in hot:
+            lines.append(f"  sw{dpid} port {port}: {load * 100:.1f}%")
+    if snapshot.active_attacks:
+        lines.append(f"attacks so far: {len(snapshot.active_attacks)}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""JSON export of the monitoring database (the paper's LAMP backend).
+
+Section IV.D: "the monitoring component then gathers the information
+and records it to the database of a remote web server", from which the
+Flash front-end periodically fetches display data.  This module is
+that interface boundary: it serializes the event database and
+snapshots to plain JSON-compatible structures (and optionally to a
+file), so any external front-end -- or a notebook -- can render the
+topology, users, elements, link loads and attack markers, live or for
+any replayed moment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.events import NetworkEvent
+from repro.core.visualization import MonitoringComponent, Snapshot
+
+
+def event_to_dict(event: NetworkEvent) -> Dict[str, object]:
+    """One event row as the web DB would store it."""
+    return {"time": event.time, "kind": event.kind, "data": dict(event.data)}
+
+
+def snapshot_to_dict(snapshot: Snapshot) -> Dict[str, object]:
+    """The display payload the front-end's timer request would fetch."""
+    return {
+        "time": snapshot.time,
+        "switches": sorted(snapshot.switches),
+        "links": sorted(snapshot.links),
+        "full_mesh": snapshot.full_mesh(),
+        "users": [
+            {
+                "mac": user.mac,
+                "ip": user.ip,
+                "dpid": user.dpid,
+                "online": user.online,
+                "applications": list(user.applications),
+                "attacks": user.attacks,
+                "blocked": user.blocked,
+            }
+            for user in sorted(snapshot.users.values(), key=lambda u: u.mac)
+        ],
+        "elements": [
+            {
+                "mac": element.mac,
+                "service_type": element.service_type,
+                "dpid": element.dpid,
+                "online": element.online,
+                "cpu": element.cpu,
+                "pps": element.pps,
+            }
+            for element in sorted(snapshot.elements.values(),
+                                  key=lambda e: e.mac)
+        ],
+        "link_loads": [
+            {"dpid": dpid, "port": port, "utilization": load}
+            for (dpid, port), load in sorted(snapshot.link_loads.items())
+        ],
+        "active_attacks": list(snapshot.active_attacks),
+    }
+
+
+class WebDatabase:
+    """File/JSON gateway over a :class:`MonitoringComponent`."""
+
+    def __init__(self, monitoring: MonitoringComponent):
+        self.monitoring = monitoring
+
+    def live_view(self) -> Dict[str, object]:
+        return snapshot_to_dict(self.monitoring.snapshot())
+
+    def replay_view(self, until: float) -> Dict[str, object]:
+        return snapshot_to_dict(self.monitoring.replay(until=until))
+
+    def events(self, since: Optional[float] = None) -> List[Dict[str, object]]:
+        rows = self.monitoring.database
+        if since is not None:
+            rows = [event for event in rows if event.time >= since]
+        return [event_to_dict(event) for event in rows]
+
+    def dump(self, path: str) -> int:
+        """Write the full DB (events + live view) to a JSON file.
+
+        Returns the number of event rows written.
+        """
+        payload = {
+            "events": self.events(),
+            "live": self.live_view(),
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        return len(payload["events"])
+
+    @staticmethod
+    def load(path: str) -> Dict[str, object]:
+        """Read a dumped DB back (for offline analysis/rendering)."""
+        with open(path) as handle:
+            return json.load(handle)

@@ -1,0 +1,59 @@
+"""Content-inspection (data-loss-prevention) element.
+
+Watches payloads for administrator-configured sensitive keywords and
+reports exfiltration attempts.  Unlike the IDS/virus elements, a hit
+here is reported with a ``policy`` severity: by default the controller
+logs it without blocking (``verdict=suspicious``), but an element can
+be configured to request blocking (``verdict=malicious``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.elements.base import ServiceElement, Verdict
+from repro.elements.signatures import CONTENT_KEYWORDS
+from repro.net.packet import Ethernet, FlowNineTuple
+
+
+class ContentInspectionElement(ServiceElement):
+    """A keyword-matching DLP service element."""
+
+    service_type = "content"
+
+    def __init__(self, sim, name, mac, ip,
+                 keywords: Sequence[bytes] = CONTENT_KEYWORDS,
+                 block_on_match: bool = False,
+                 capacity_bps: float = 250e6,
+                 per_packet_cost_s: float = 10e-6,
+                 **kwargs):
+        super().__init__(sim, name, mac, ip, capacity_bps=capacity_bps,
+                         per_packet_cost_s=per_packet_cost_s, **kwargs)
+        self.keywords = tuple(keywords)
+        self.block_on_match = block_on_match
+        self._flagged: Set[Tuple[FlowNineTuple, bytes]] = set()
+        self.matches = 0
+
+    def inspect(self, frame: Ethernet, flow: FlowNineTuple) -> List[Verdict]:
+        payload = frame.app_payload()
+        if not payload:
+            return []
+        verdicts: List[Verdict] = []
+        for keyword in self.keywords:
+            if keyword in payload and (flow, keyword) not in self._flagged:
+                self._flagged.add((flow, keyword))
+                self.matches += 1
+                verdicts.append(
+                    Verdict(
+                        "content",
+                        {
+                            "attack": "DLP sensitive content",
+                            "result": keyword.decode(errors="replace"),
+                            "verdict": (
+                                "malicious" if self.block_on_match
+                                else "suspicious"
+                            ),
+                        },
+                    )
+                )
+        return verdicts

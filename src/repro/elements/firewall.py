@@ -1,0 +1,85 @@
+"""Stateless ACL firewall element.
+
+Evaluates a first-match ACL over the 9-tuple of every frame.  Denied
+flows are *reported* to the controller (which installs the ingress
+drop) -- consistent with LiveSec's principle that enforcement actions
+are taken centrally, not by the distributed elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.elements.base import ServiceElement, Verdict
+from repro.net.packet import Ethernet, FlowNineTuple
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One access-control entry; ``None`` fields are wildcards."""
+
+    action: str  # "allow" | "deny"
+    src_ip_prefix: Optional[str] = None
+    dst_ip_prefix: Optional[str] = None
+    nw_proto: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    def matches(self, flow: FlowNineTuple) -> bool:
+        if self.src_ip_prefix is not None:
+            if flow.nw_src is None or not flow.nw_src.startswith(self.src_ip_prefix):
+                return False
+        if self.dst_ip_prefix is not None:
+            if flow.nw_dst is None or not flow.nw_dst.startswith(self.dst_ip_prefix):
+                return False
+        if self.nw_proto is not None and self.nw_proto != flow.nw_proto:
+            return False
+        if self.tp_dst is not None and self.tp_dst != flow.tp_dst:
+            return False
+        return True
+
+
+class FirewallElement(ServiceElement):
+    """A stateless packet-filter service element."""
+
+    service_type = "firewall"
+
+    def __init__(self, sim, name, mac, ip,
+                 acl: Sequence[AclRule] = (),
+                 default_action: str = "allow",
+                 capacity_bps: float = 800e6,
+                 per_packet_cost_s: float = 1.5e-6,
+                 **kwargs):
+        super().__init__(sim, name, mac, ip, capacity_bps=capacity_bps,
+                         per_packet_cost_s=per_packet_cost_s, **kwargs)
+        if default_action not in ("allow", "deny"):
+            raise ValueError(f"bad default_action {default_action!r}")
+        self.acl = tuple(acl)
+        self.default_action = default_action
+        self._denied_flows: Set[FlowNineTuple] = set()
+        self.denies = 0
+
+    def evaluate(self, flow: FlowNineTuple) -> str:
+        """First-match ACL decision for a flow."""
+        for rule in self.acl:
+            if rule.matches(flow):
+                return rule.action
+        return self.default_action
+
+    def inspect(self, frame: Ethernet, flow: FlowNineTuple) -> List[Verdict]:
+        if flow in self._denied_flows:
+            return []
+        if self.evaluate(flow) == "deny":
+            self._denied_flows.add(flow)
+            self.denies += 1
+            return [
+                Verdict(
+                    "attack",
+                    {
+                        "attack": "FIREWALL policy deny",
+                        "severity": "low",
+                        "verdict": "malicious",
+                    },
+                )
+            ]
+        return []

@@ -1,0 +1,60 @@
+"""Virus-scanning element.
+
+Streams each flow's payload bytes past a byte-signature set (the
+moral equivalent of ClamAV over reassembled content).  Signatures may
+straddle packet boundaries, so the scanner keeps a small per-flow tail
+buffer and matches across the seam.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.elements.base import ServiceElement, Verdict
+from repro.elements.signatures import VIRUS_SIGNATURES
+from repro.net.packet import Ethernet, FlowNineTuple
+
+TAIL_BYTES = 64  # longest signature bound
+
+
+class VirusScanElement(ServiceElement):
+    """A signature-based virus scanner service element."""
+
+    service_type = "virus"
+
+    def __init__(self, sim, name, mac, ip,
+                 signatures: Tuple[Tuple[str, bytes], ...] = VIRUS_SIGNATURES,
+                 capacity_bps: float = 300e6,
+                 per_packet_cost_s: float = 8e-6,
+                 **kwargs):
+        super().__init__(sim, name, mac, ip, capacity_bps=capacity_bps,
+                         per_packet_cost_s=per_packet_cost_s, **kwargs)
+        self.signatures = signatures
+        self._tails: Dict[FlowNineTuple, bytes] = {}
+        self._infected: Set[FlowNineTuple] = set()
+        self.detections = 0
+
+    def inspect(self, frame: Ethernet, flow: FlowNineTuple) -> List[Verdict]:
+        if flow in self._infected:
+            return []
+        payload = frame.app_payload()
+        if not payload:
+            return []
+        window = self._tails.get(flow, b"") + payload
+        for name, signature in self.signatures:
+            if signature in window:
+                self._infected.add(flow)
+                self._tails.pop(flow, None)
+                self.detections += 1
+                return [
+                    Verdict(
+                        "virus",
+                        {
+                            "attack": f"VIRUS {name}",
+                            "result": name,
+                            "verdict": "malicious",
+                        },
+                    )
+                ]
+        self._tails[flow] = window[-TAIL_BYTES:]
+        return []

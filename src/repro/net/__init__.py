@@ -1,0 +1,55 @@
+"""Packet-level discrete-event network simulator.
+
+This package is the substrate the LiveSec reproduction runs on.  It
+replaces the paper's physical testbed (Gigabit Ethernet fabric, Open
+vSwitch servers, OpenWrt Wi-Fi APs) with a deterministic simulation:
+
+* :mod:`repro.net.simulator` -- the discrete-event kernel,
+* :mod:`repro.net.packet` -- Ethernet/ARP/IP/TCP/UDP/LLDP packet model,
+* :mod:`repro.net.node` -- the port/node abstraction,
+* :mod:`repro.net.links` -- capacity-limited duplex links with queues,
+* :mod:`repro.net.host` -- end hosts with an ARP stack and flow sockets,
+* :mod:`repro.net.legacy` -- legacy L2 learning switches with STP,
+* :mod:`repro.net.wifi` -- the OF Wi-Fi access-point model,
+* :mod:`repro.net.topologies` -- topology builders, including the
+  FIT-building deployment of the paper's Figure 6.
+"""
+
+from repro.net.simulator import Simulator
+from repro.net.packet import (
+    Arp,
+    Dhcp,
+    Ethernet,
+    Icmp,
+    IPv4,
+    Lldp,
+    Tcp,
+    Udp,
+    FlowNineTuple,
+    extract_nine_tuple,
+)
+from repro.net.node import Node, Port
+from repro.net.links import Link
+from repro.net.host import Host
+from repro.net.legacy import LegacySwitch
+from repro.net.wifi import WifiAccessPoint
+
+__all__ = [
+    "Simulator",
+    "Arp",
+    "Dhcp",
+    "Ethernet",
+    "Icmp",
+    "IPv4",
+    "Lldp",
+    "Tcp",
+    "Udp",
+    "FlowNineTuple",
+    "extract_nine_tuple",
+    "Node",
+    "Port",
+    "Link",
+    "Host",
+    "LegacySwitch",
+    "WifiAccessPoint",
+]

@@ -1,0 +1,161 @@
+"""Capacity-limited duplex links.
+
+A link models the three properties the evaluation depends on:
+
+* **serialization delay** -- ``size * 8 / bandwidth`` per frame, so a
+  100 Mbps access port really saturates at 100 Mbps (experiment E1),
+* **propagation delay** -- a fixed one-way latency, so the +10 % latency
+  overhead of the extra AS hop is measurable (experiment E5),
+* **drop-tail queueing** -- bounded per-direction queues, so overload
+  shows up as loss rather than infinite buffering.
+
+Each direction is independent (full duplex).  Per-direction byte
+counters feed the link-utilization view of the visualization layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.net.packet import Ethernet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.node import Port
+    from repro.net.simulator import Simulator
+
+
+class _Direction:
+    """Transmission state for one direction of a duplex link."""
+
+    __slots__ = (
+        "next_free",
+        "queued",
+        "tx_packets",
+        "tx_bytes",
+        "dropped",
+        "busy_time",
+    )
+
+    def __init__(self) -> None:
+        self.next_free = 0.0
+        self.queued = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped = 0
+        self.busy_time = 0.0
+
+
+class Link:
+    """A duplex point-to-point link between two ports.
+
+    Use :func:`repro.net.node.connect` rather than constructing
+    directly -- it allocates ports and wires both ends.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        end_a: "Port",
+        end_b: "Port",
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_packets: int,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive (got {bandwidth_bps})")
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative (got {delay_s})")
+        self.sim = sim
+        self.end_a = end_a
+        self.end_b = end_b
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue_packets = queue_packets
+        self.up = True
+        self._directions: Dict[int, _Direction] = {
+            id(end_a): _Direction(),
+            id(end_b): _Direction(),
+        }
+
+    def other_end(self, port: "Port") -> "Port":
+        if port is self.end_a:
+            return self.end_b
+        if port is self.end_b:
+            return self.end_a
+        raise ValueError(f"{port} is not an end of {self}")
+
+    def transmit(self, from_port: "Port", frame: Ethernet) -> bool:
+        """Serialize ``frame`` out of ``from_port`` toward the peer.
+
+        Returns False when the frame is dropped (link down or the
+        direction's queue is full).
+        """
+        if not self.up:
+            from_port.tx_drops += 1
+            return False
+        direction = self._directions[id(from_port)]
+        if direction.queued >= self.queue_packets:
+            direction.dropped += 1
+            from_port.tx_drops += 1
+            return False
+
+        now = self.sim.now
+        tx_time = frame.size * 8.0 / self.bandwidth_bps
+        start = max(now, direction.next_free)
+        done = start + tx_time
+        direction.next_free = done
+        direction.queued += 1
+        direction.busy_time += tx_time
+        direction.tx_packets += 1
+        direction.tx_bytes += frame.size
+        from_port.tx_packets += 1
+        from_port.tx_bytes += frame.size
+
+        to_port = self.other_end(from_port)
+        self.sim.schedule_at(
+            done + self.delay_s, self._deliver, frame, from_port, to_port
+        )
+        return True
+
+    def _deliver(self, frame: Ethernet, from_port: "Port", to_port: "Port") -> None:
+        self._directions[id(from_port)].queued -= 1
+        if not self.up or not to_port.enabled:
+            return
+        to_port.rx_packets += 1
+        to_port.rx_bytes += frame.size
+        to_port.node.receive(frame, to_port.number)
+
+    def stats(self, from_port: "Port") -> dict:
+        """Counters for the direction transmitting out of ``from_port``."""
+        direction = self._directions[id(from_port)]
+        return {
+            "tx_packets": direction.tx_packets,
+            "tx_bytes": direction.tx_bytes,
+            "dropped": direction.dropped,
+            "busy_time": direction.busy_time,
+            "queued": direction.queued,
+        }
+
+    def utilization(self, from_port: "Port", window_start: float) -> float:
+        """Fraction of capacity used since ``window_start``.
+
+        Computed from accumulated busy time; callers snapshot
+        ``stats()['busy_time']`` at window boundaries for windowed
+        readings.
+        """
+        elapsed = self.sim.now - window_start
+        if elapsed <= 0:
+            return 0.0
+        busy = self._directions[id(from_port)].busy_time
+        return min(1.0, busy / elapsed)
+
+    def set_up(self, up: bool) -> None:
+        """Administratively raise or fail the link (fault injection)."""
+        self.up = up
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.end_a.node.name}:{self.end_a.number}"
+            f"<->{self.end_b.node.name}:{self.end_b.number}"
+            f" {self.bandwidth_bps / 1e6:.0f}Mbps>"
+        )

@@ -1,0 +1,63 @@
+"""A from-scratch OpenFlow 1.0-style substrate.
+
+LiveSec (the paper) runs on NOX + Open vSwitch speaking OpenFlow 1.0.
+This package reimplements the slice of OpenFlow the system uses:
+
+* :mod:`repro.openflow.match` -- the 12-tuple match with wildcards,
+* :mod:`repro.openflow.actions` -- output / flood / set-dl-dst / drop,
+* :mod:`repro.openflow.flowtable` -- priority flow tables with idle and
+  hard timeouts and per-entry counters,
+* :mod:`repro.openflow.messages` -- the controller/switch protocol
+  (PacketIn, FlowMod, PacketOut, FlowRemoved, stats, ...),
+* :mod:`repro.openflow.channel` -- the secure channel with control-plane
+  latency,
+* :mod:`repro.openflow.switch` -- the switch datapath (Open vSwitch
+  stand-in, also used inside the OF Wi-Fi AP),
+* :mod:`repro.openflow.controller_base` -- a NOX-like event framework
+  with LLDP topology discovery, on which the LiveSec controller app in
+  :mod:`repro.core` is built.
+"""
+
+from repro.openflow.match import Match
+from repro.openflow.actions import (
+    Action,
+    Output,
+    SetDlDst,
+    SetDlSrc,
+    CONTROLLER_PORT,
+    FLOOD_PORT,
+)
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.messages import (
+    FlowMod,
+    FlowRemoved,
+    PacketIn,
+    PacketOut,
+    PortStatsReply,
+    PortStatsRequest,
+)
+from repro.openflow.channel import SecureChannel
+from repro.openflow.switch import OpenFlowSwitch
+from repro.openflow.controller_base import ControllerBase, SwitchHandle
+
+__all__ = [
+    "Match",
+    "Action",
+    "Output",
+    "SetDlDst",
+    "SetDlSrc",
+    "CONTROLLER_PORT",
+    "FLOOD_PORT",
+    "FlowEntry",
+    "FlowTable",
+    "FlowMod",
+    "FlowRemoved",
+    "PacketIn",
+    "PacketOut",
+    "PortStatsReply",
+    "PortStatsRequest",
+    "SecureChannel",
+    "OpenFlowSwitch",
+    "ControllerBase",
+    "SwitchHandle",
+]

@@ -1,0 +1,65 @@
+"""OpenFlow actions.
+
+LiveSec uses a deliberately small action set (Section IV.A): output to
+a port, flood, send to controller, rewrite the destination MAC (to
+steer a flow toward a service element), and drop (an empty action
+list, which is how OpenFlow 1.0 expresses drops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import Ethernet
+
+# Virtual port numbers (mirroring OFPP_CONTROLLER / OFPP_FLOOD).
+CONTROLLER_PORT = -1
+FLOOD_PORT = -2
+
+
+class Action:
+    """Base class; subclasses are immutable dataclasses."""
+
+    def apply(self, frame: Ethernet) -> None:
+        """Mutate the frame (header rewrites).  Forwarding actions are
+        interpreted by the switch, not here."""
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    """Forward out of a port; may be CONTROLLER_PORT or FLOOD_PORT."""
+
+    port: int
+
+    def __str__(self) -> str:
+        if self.port == CONTROLLER_PORT:
+            return "output:CONTROLLER"
+        if self.port == FLOOD_PORT:
+            return "output:FLOOD"
+        return f"output:{self.port}"
+
+
+@dataclass(frozen=True)
+class SetDlDst(Action):
+    """Rewrite the destination MAC (service-element steering)."""
+
+    mac: str
+
+    def apply(self, frame: Ethernet) -> None:
+        frame.dst = self.mac
+
+    def __str__(self) -> str:
+        return f"set_dl_dst:{self.mac}"
+
+
+@dataclass(frozen=True)
+class SetDlSrc(Action):
+    """Rewrite the source MAC."""
+
+    mac: str
+
+    def apply(self, frame: Ethernet) -> None:
+        frame.src = self.mac
+
+    def __str__(self) -> str:
+        return f"set_dl_src:{self.mac}"

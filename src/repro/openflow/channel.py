@@ -1,0 +1,76 @@
+"""The secure channel between an OpenFlow switch and the controller.
+
+Section III.C: "secure channels are established by AS switches to
+connect to the control-plane".  The channel is out-of-band here (it
+does not consume data-plane link capacity, as in the deployment where
+the control network is separate) but has a configurable one-way latency
+so the first-packet controller round trip is a measurable cost, and it
+can be disconnected to exercise switch-leave handling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.openflow.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.simulator import Simulator
+    from repro.openflow.controller_base import ControllerBase
+    from repro.openflow.switch import OpenFlowSwitch
+
+DEFAULT_CONTROL_LATENCY_S = 0.5e-3
+
+
+class SecureChannel:
+    """Bidirectional, latency-modelled control channel."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        switch: "OpenFlowSwitch",
+        controller: "ControllerBase",
+        latency_s: float = DEFAULT_CONTROL_LATENCY_S,
+    ):
+        self.sim = sim
+        self.switch = switch
+        self.controller = controller
+        self.latency_s = latency_s
+        self.connected = False
+        self.to_controller_count = 0
+        self.to_switch_count = 0
+
+    def connect(self) -> None:
+        """Establish the channel: Hello + FeaturesReply handshake."""
+        if self.connected:
+            return
+        self.connected = True
+        self.switch.channel = self
+        self.sim.schedule(self.latency_s, self.controller._channel_up, self)
+
+    def disconnect(self) -> None:
+        """Tear the channel down; the controller sees a switch leave."""
+        if not self.connected:
+            return
+        self.connected = False
+        self.sim.schedule(self.latency_s, self.controller._channel_down, self)
+
+    def to_controller(self, message: Message) -> None:
+        """Deliver a switch-originated message after the channel latency."""
+        if not self.connected:
+            return
+        self.to_controller_count += 1
+        self.sim.schedule(
+            self.latency_s, self.controller._handle_message, self.switch.dpid, message
+        )
+
+    def to_switch(self, message: Message) -> None:
+        """Deliver a controller-originated message after the latency."""
+        if not self.connected:
+            return
+        self.to_switch_count += 1
+        self.sim.schedule(self.latency_s, self.switch.handle_of_message, message)
+
+    def __repr__(self) -> str:
+        state = "up" if self.connected else "down"
+        return f"<SecureChannel dpid={self.switch.dpid} {state}>"

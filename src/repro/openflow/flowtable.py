@@ -1,0 +1,165 @@
+"""Flow tables: prioritized flow entries with timeouts and counters.
+
+Semantics follow OpenFlow 1.0: the highest-priority matching entry
+wins; an entry with an idle timeout expires when unused for that long;
+a hard timeout bounds total lifetime; adding an entry with an identical
+match and priority replaces the old one; non-strict delete removes
+every entry whose match is wildcarded-covered by the given match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.packet import Ethernet
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+DEFAULT_PRIORITY = 100
+
+
+@dataclass
+class FlowEntry:
+    """One row of a flow table.
+
+    An empty ``actions`` list means drop.  ``idle_timeout`` /
+    ``hard_timeout`` of 0 mean "never expires" (OpenFlow convention).
+    """
+
+    match: Match
+    actions: Tuple[Action, ...] = ()
+    priority: int = DEFAULT_PRIORITY
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: int = 0
+    send_flow_removed: bool = False
+    created_at: float = 0.0
+    last_used_at: float = 0.0
+    packets: int = 0
+    bytes: int = 0
+
+    @property
+    def is_drop(self) -> bool:
+        return not self.actions
+
+    def touch(self, now: float, size: int) -> None:
+        """Record a packet hit."""
+        self.last_used_at = now
+        self.packets += 1
+        self.bytes += size
+
+    def expired(self, now: float) -> Optional[str]:
+        """'idle', 'hard' or None."""
+        if self.hard_timeout > 0 and now - self.created_at >= self.hard_timeout:
+            return "hard"
+        if self.idle_timeout > 0 and now - self.last_used_at >= self.idle_timeout:
+            return "idle"
+        return None
+
+    def __str__(self) -> str:
+        acts = ",".join(str(a) for a in self.actions) or "drop"
+        return f"[prio={self.priority} {self.match} -> {acts}]"
+
+
+@dataclass
+class _RemovedEntry:
+    """An entry evicted by timeout, with the reason, for FlowRemoved."""
+
+    entry: FlowEntry
+    reason: str
+
+
+class FlowTable:
+    """A single OpenFlow 1.0-style flow table."""
+
+    def __init__(self) -> None:
+        self._entries: List[FlowEntry] = []
+        self.lookups = 0
+        self.matched = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def entries(self) -> Sequence[FlowEntry]:
+        return tuple(self._entries)
+
+    def add(self, entry: FlowEntry, now: float) -> None:
+        """Insert, replacing any entry with identical match+priority."""
+        entry.created_at = now
+        entry.last_used_at = now
+        self._entries = [
+            e
+            for e in self._entries
+            if not (e.match == entry.match and e.priority == entry.priority)
+        ]
+        self._entries.append(entry)
+        # Keep sorted by descending priority, stable on insertion order,
+        # so lookup can return the first hit.
+        self._entries.sort(key=lambda e: -e.priority)
+
+    def modify(self, match: Match, actions: Tuple[Action, ...], now: float,
+               strict_priority: Optional[int] = None) -> int:
+        """OpenFlow MODIFY: update actions of matching entries in place,
+        preserving counters.  Returns the number modified."""
+        count = 0
+        for entry in self._entries:
+            if strict_priority is not None and entry.priority != strict_priority:
+                continue
+            if entry.match == match or match.is_subset_of(entry.match) \
+                    or entry.match.is_subset_of(match):
+                entry.actions = actions
+                count += 1
+        return count
+
+    def delete(self, match: Match, strict: bool = False,
+               priority: Optional[int] = None) -> List[FlowEntry]:
+        """OpenFlow DELETE: remove matching entries and return them.
+
+        Non-strict (default) removes every entry whose match is covered
+        by ``match``; strict requires exact match+priority equality.
+        """
+        removed: List[FlowEntry] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            if strict:
+                hit = entry.match == match and (
+                    priority is None or entry.priority == priority
+                )
+            else:
+                hit = entry.match.is_subset_of(match)
+            (removed if hit else kept).append(entry)
+        self._entries = kept
+        return removed
+
+    def lookup(self, frame: Ethernet, in_port: int, now: float) -> Optional[FlowEntry]:
+        """The highest-priority live entry matching the frame, touching
+        its counters; None on table miss."""
+        self.lookups += 1
+        for entry in self._entries:
+            if entry.expired(now):
+                continue
+            if entry.match.matches(frame, in_port):
+                entry.touch(now, frame.size)
+                self.matched += 1
+                return entry
+        return None
+
+    def expire(self, now: float) -> List[_RemovedEntry]:
+        """Evict expired entries, returning them with their reasons."""
+        removed: List[_RemovedEntry] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            reason = entry.expired(now)
+            if reason is None:
+                kept.append(entry)
+            else:
+                removed.append(_RemovedEntry(entry, reason))
+        self._entries = kept
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<FlowTable entries={len(self._entries)} lookups={self.lookups}>"

@@ -1,0 +1,110 @@
+"""OpenFlow 1.0 match structure: the 12-tuple with wildcards.
+
+A field set to ``None`` is wildcarded.  The paper's "9-tuple"
+(Section III.C.3) is this structure without ``in_port``, ``dl_vlan_pcp``
+and ``nw_tos``; :meth:`Match.from_nine_tuple` bridges the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.net.packet import Ethernet, FlowNineTuple, Tcp, Udp, extract_nine_tuple
+
+
+@dataclass(frozen=True)
+class Match:
+    """An OpenFlow 1.0 flow match.  ``None`` means wildcard."""
+
+    in_port: Optional[int] = None
+    dl_src: Optional[str] = None
+    dl_dst: Optional[str] = None
+    dl_type: Optional[int] = None
+    dl_vlan: Optional[int] = None
+    dl_vlan_pcp: Optional[int] = None
+    nw_src: Optional[str] = None
+    nw_dst: Optional[str] = None
+    nw_proto: Optional[int] = None
+    nw_tos: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    @classmethod
+    def from_frame(cls, frame: Ethernet, in_port: Optional[int] = None) -> "Match":
+        """The exact match of a concrete frame (plus optional in_port)."""
+        nine = extract_nine_tuple(frame)
+        return cls.from_nine_tuple(nine, in_port=in_port)
+
+    @classmethod
+    def from_nine_tuple(
+        cls, nine: FlowNineTuple, in_port: Optional[int] = None
+    ) -> "Match":
+        """Build a match from the paper's 9-tuple flow identity."""
+        return cls(
+            in_port=in_port,
+            dl_vlan=nine.vlan,
+            dl_src=nine.dl_src,
+            dl_dst=nine.dl_dst,
+            dl_type=nine.dl_type,
+            nw_src=nine.nw_src,
+            nw_dst=nine.nw_dst,
+            nw_proto=nine.nw_proto,
+            tp_src=nine.tp_src,
+            tp_dst=nine.tp_dst,
+        )
+
+    def matches(self, frame: Ethernet, in_port: int) -> bool:
+        """Whether a concrete frame arriving on ``in_port`` matches."""
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        if self.dl_src is not None and self.dl_src != frame.src:
+            return False
+        if self.dl_dst is not None and self.dl_dst != frame.dst:
+            return False
+        if self.dl_type is not None and self.dl_type != frame.ethertype:
+            return False
+        if self.dl_vlan is not None and self.dl_vlan != frame.vlan:
+            return False
+        ip = frame.ip()
+        if self.nw_src is not None and (ip is None or ip.src != self.nw_src):
+            return False
+        if self.nw_dst is not None and (ip is None or ip.dst != self.nw_dst):
+            return False
+        if self.nw_proto is not None and (ip is None or ip.proto != self.nw_proto):
+            return False
+        if self.nw_tos is not None and (ip is None or ip.tos != self.nw_tos):
+            return False
+        if self.tp_src is not None or self.tp_dst is not None:
+            segment = ip.payload if ip is not None else None
+            if not isinstance(segment, (Tcp, Udp)):
+                return False
+            if self.tp_src is not None and segment.sport != self.tp_src:
+                return False
+            if self.tp_dst is not None and segment.dport != self.tp_dst:
+                return False
+        return True
+
+    def wildcard_count(self) -> int:
+        """How many of the 12 fields are wildcarded (0 = exact match)."""
+        return sum(1 for f in fields(self) if getattr(self, f.name) is None)
+
+    def is_subset_of(self, other: "Match") -> bool:
+        """True when every frame matching ``self`` also matches ``other``.
+
+        Used for OpenFlow's non-strict delete semantics.
+        """
+        for f in fields(self):
+            ours = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if theirs is not None and ours != theirs:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        set_fields = ", ".join(
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        )
+        return f"Match({set_fields or 'any'})"

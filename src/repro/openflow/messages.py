@@ -1,0 +1,149 @@
+"""The OpenFlow controller/switch protocol messages.
+
+Only the messages LiveSec uses are modelled; they are plain dataclasses
+exchanged over :class:`repro.openflow.channel.SecureChannel` rather
+than serialized wire bytes, but the fields mirror OpenFlow 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.packet import Ethernet
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+
+class Message:
+    """Marker base class for protocol messages."""
+
+
+# ---------------------------------------------------------------------------
+# Switch -> controller
+
+
+@dataclass
+class Hello(Message):
+    """Version negotiation, sent on channel establishment."""
+
+    version: int = 1
+
+
+@dataclass
+class FeaturesReply(Message):
+    """The switch's datapath id and port inventory."""
+
+    dpid: int
+    ports: Tuple[int, ...] = ()
+
+
+@dataclass
+class PacketIn(Message):
+    """A frame punted to the controller (table miss or explicit send).
+
+    The switch keeps the original frame in its buffer under
+    ``buffer_id``; a later PacketOut referencing the id releases it.
+    """
+
+    dpid: int
+    in_port: int
+    frame: Ethernet
+    buffer_id: Optional[int] = None
+    reason: str = "no_match"  # "no_match" | "action"
+
+
+@dataclass
+class FlowRemoved(Message):
+    """Notification that a flow entry expired (idle/hard) or was deleted."""
+
+    dpid: int
+    match: Match
+    priority: int
+    cookie: int
+    reason: str  # "idle" | "hard" | "delete"
+    duration_s: float
+    packets: int
+    bytes: int
+
+
+@dataclass
+class PortStatsReply(Message):
+    """Per-port counters, keyed by port number."""
+
+    dpid: int
+    stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+
+@dataclass
+class FlowStatsReply(Message):
+    """Per-entry counters for entries covered by the requested match."""
+
+    dpid: int
+    entries: Tuple[dict, ...] = ()
+
+
+@dataclass
+class EchoReply(Message):
+    dpid: int
+    payload: int = 0
+
+
+@dataclass
+class BarrierReply(Message):
+    dpid: int
+    xid: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Controller -> switch
+
+
+@dataclass
+class FlowMod(Message):
+    """Add/modify/delete flow entries."""
+
+    command: str  # "add" | "modify" | "delete" | "delete_strict"
+    match: Match
+    actions: Tuple[Action, ...] = ()
+    priority: int = 100
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: int = 0
+    send_flow_removed: bool = False
+    buffer_id: Optional[int] = None
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+    DELETE_STRICT = "delete_strict"
+
+
+@dataclass
+class PacketOut(Message):
+    """Inject a frame (or release a buffered one) through actions."""
+
+    actions: Tuple[Action, ...]
+    frame: Optional[Ethernet] = None
+    buffer_id: Optional[int] = None
+    in_port: Optional[int] = None
+
+
+@dataclass
+class PortStatsRequest(Message):
+    port: Optional[int] = None  # None = all ports
+
+
+@dataclass
+class FlowStatsRequest(Message):
+    match: Match = field(default_factory=Match)
+
+
+@dataclass
+class EchoRequest(Message):
+    payload: int = 0
+
+
+@dataclass
+class BarrierRequest(Message):
+    xid: int = 0

@@ -1,0 +1,281 @@
+"""The OpenFlow switch datapath (our Open vSwitch stand-in).
+
+Behavior mirrors OpenFlow 1.0: a frame is matched against the flow
+table; on a hit the entry's actions run in sequence (header rewrites
+affect later outputs); on a miss the frame is buffered and punted to
+the controller as a PacketIn.  FlowMod/PacketOut/stats messages from
+the controller are handled as the spec describes, including releasing
+buffered frames via ``buffer_id`` and FlowRemoved notifications for
+expired entries.
+
+The datapath charges a small per-frame ``forwarding_delay_s``
+(software-switch lookup cost).  This is what makes the LiveSec path
+measurably slower than pure legacy switching -- the +10 % latency
+result of Section V.B.3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.net import packet as pkt
+from repro.net.node import Node
+from repro.net.packet import Ethernet
+from repro.openflow import messages as msg
+from repro.openflow.actions import Action, CONTROLLER_PORT, FLOOD_PORT, Output
+from repro.openflow.channel import SecureChannel
+from repro.openflow.flowtable import FlowEntry, FlowTable
+
+DEFAULT_FORWARDING_DELAY_S = 25e-6
+EXPIRY_SWEEP_INTERVAL_S = 1.0
+MAX_BUFFERED_FRAMES = 4096
+
+
+def _last_emitting_index(actions: Tuple[Action, ...]) -> int:
+    """Index of the final Output action, or -1 when the original frame
+    cannot be handed over (e.g. a rewrite follows the last output and
+    would mutate a frame already in flight)."""
+    last = -1
+    for index, action in enumerate(actions):
+        if isinstance(action, Output):
+            last = index
+    if last >= 0 and any(
+        not isinstance(action, Output) for action in actions[last + 1:]
+    ):
+        return -1
+    return last
+
+
+class OpenFlowSwitch(Node):
+    """An OpenFlow-enabled switch (AS switch in LiveSec terms)."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        dpid: int,
+        forwarding_delay_s: float = DEFAULT_FORWARDING_DELAY_S,
+    ):
+        super().__init__(sim, name)
+        self.dpid = dpid
+        self.table = FlowTable()
+        self.channel: Optional[SecureChannel] = None
+        self.forwarding_delay_s = forwarding_delay_s
+        self._buffers: "OrderedDict[int, Tuple[Ethernet, int]]" = OrderedDict()
+        self._buffer_ids = itertools.count(1)
+        self.packet_ins = 0
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        sim.every(
+            EXPIRY_SWEEP_INTERVAL_S,
+            self._sweep_expired,
+            start=sim.now + EXPIRY_SWEEP_INTERVAL_S + (dpid % 13) * 1e-3,
+        )
+
+    # ------------------------------------------------------------------
+    # Data plane
+
+    def receive(self, frame: Ethernet, in_port: int) -> None:
+        entry = self.table.lookup(frame, in_port, self.sim.now)
+        if entry is None:
+            self._punt_to_controller(frame, in_port, reason="no_match")
+            return
+        if entry.is_drop:
+            self.packets_dropped += 1
+            return
+        self.sim.schedule(
+            self.forwarding_delay_s, self._apply_actions, frame, in_port, entry.actions
+        )
+
+    def _apply_actions(
+        self, frame: Ethernet, in_port: int, actions: Tuple[Action, ...]
+    ) -> None:
+        outputs = 0
+        last_emit = _last_emitting_index(actions)
+        for index, action in enumerate(actions):
+            if isinstance(action, Output):
+                # Only clone when the frame is emitted again later; the
+                # final emission may hand over the original (fast path).
+                emit = frame if index == last_emit else frame.clone()
+                if action.port == CONTROLLER_PORT:
+                    self._punt_to_controller(emit, in_port, reason="action")
+                elif action.port == FLOOD_PORT:
+                    outputs += self.flood(emit, in_port)
+                else:
+                    if self.send(emit, action.port):
+                        outputs += 1
+            else:
+                action.apply(frame)
+        self.packets_forwarded += outputs
+
+    def _punt_to_controller(self, frame: Ethernet, in_port: int, reason: str) -> None:
+        if self.channel is None or not self.channel.connected:
+            self.packets_dropped += 1
+            return
+        buffer_id = next(self._buffer_ids)
+        self._buffers[buffer_id] = (frame, in_port)
+        while len(self._buffers) > MAX_BUFFERED_FRAMES:
+            self._buffers.popitem(last=False)
+        self.packet_ins += 1
+        self.channel.to_controller(
+            msg.PacketIn(
+                dpid=self.dpid,
+                in_port=in_port,
+                frame=frame,
+                buffer_id=buffer_id,
+                reason=reason,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane
+
+    def handle_of_message(self, message: msg.Message) -> None:
+        """Process a controller-to-switch message."""
+        if isinstance(message, msg.FlowMod):
+            self._handle_flow_mod(message)
+        elif isinstance(message, msg.PacketOut):
+            self._handle_packet_out(message)
+        elif isinstance(message, msg.PortStatsRequest):
+            self._handle_port_stats(message)
+        elif isinstance(message, msg.FlowStatsRequest):
+            self._handle_flow_stats(message)
+        elif isinstance(message, msg.EchoRequest):
+            self._reply(msg.EchoReply(dpid=self.dpid, payload=message.payload))
+        elif isinstance(message, msg.BarrierRequest):
+            self._reply(msg.BarrierReply(dpid=self.dpid, xid=message.xid))
+        else:
+            raise TypeError(f"unhandled OpenFlow message: {message!r}")
+
+    def _handle_flow_mod(self, mod: msg.FlowMod) -> None:
+        now = self.sim.now
+        if mod.command == msg.FlowMod.ADD:
+            self.table.add(
+                FlowEntry(
+                    match=mod.match,
+                    actions=tuple(mod.actions),
+                    priority=mod.priority,
+                    idle_timeout=mod.idle_timeout,
+                    hard_timeout=mod.hard_timeout,
+                    cookie=mod.cookie,
+                    send_flow_removed=mod.send_flow_removed,
+                ),
+                now,
+            )
+        elif mod.command == msg.FlowMod.MODIFY:
+            modified = self.table.modify(mod.match, tuple(mod.actions), now)
+            if modified == 0:
+                # OpenFlow semantics: MODIFY with no match behaves as ADD.
+                self.table.add(
+                    FlowEntry(
+                        match=mod.match,
+                        actions=tuple(mod.actions),
+                        priority=mod.priority,
+                        idle_timeout=mod.idle_timeout,
+                        hard_timeout=mod.hard_timeout,
+                        cookie=mod.cookie,
+                    ),
+                    now,
+                )
+        elif mod.command in (msg.FlowMod.DELETE, msg.FlowMod.DELETE_STRICT):
+            strict = mod.command == msg.FlowMod.DELETE_STRICT
+            removed = self.table.delete(
+                mod.match, strict=strict, priority=mod.priority if strict else None
+            )
+            for entry in removed:
+                if entry.send_flow_removed:
+                    self._send_flow_removed(entry, "delete")
+        else:
+            raise ValueError(f"unknown FlowMod command: {mod.command}")
+
+        if mod.buffer_id is not None and mod.command in (
+            msg.FlowMod.ADD,
+            msg.FlowMod.MODIFY,
+        ):
+            buffered = self._buffers.pop(mod.buffer_id, None)
+            if buffered is not None:
+                frame, in_port = buffered
+                if mod.actions:
+                    self.sim.schedule(
+                        self.forwarding_delay_s,
+                        self._apply_actions,
+                        frame,
+                        in_port,
+                        tuple(mod.actions),
+                    )
+
+    def _handle_packet_out(self, out: msg.PacketOut) -> None:
+        frame: Optional[Ethernet] = out.frame
+        in_port = out.in_port if out.in_port is not None else 0
+        if out.buffer_id is not None:
+            buffered = self._buffers.pop(out.buffer_id, None)
+            if buffered is None:
+                return
+            frame, in_port = buffered
+        if frame is None:
+            return
+        self.sim.schedule(
+            self.forwarding_delay_s, self._apply_actions, frame, in_port,
+            tuple(out.actions),
+        )
+
+    def _handle_port_stats(self, request: msg.PortStatsRequest) -> None:
+        stats = {}
+        for number, port in sorted(self.ports.items()):
+            if request.port is not None and number != request.port:
+                continue
+            stats[number] = {
+                "tx_packets": port.tx_packets,
+                "tx_bytes": port.tx_bytes,
+                "rx_packets": port.rx_packets,
+                "rx_bytes": port.rx_bytes,
+                "tx_drops": port.tx_drops,
+            }
+        self._reply(msg.PortStatsReply(dpid=self.dpid, stats=stats))
+
+    def _handle_flow_stats(self, request: msg.FlowStatsRequest) -> None:
+        entries = tuple(
+            {
+                "match": entry.match,
+                "priority": entry.priority,
+                "cookie": entry.cookie,
+                "packets": entry.packets,
+                "bytes": entry.bytes,
+                "age_s": self.sim.now - entry.created_at,
+            }
+            for entry in self.table
+            if entry.match.is_subset_of(request.match)
+        )
+        self._reply(msg.FlowStatsReply(dpid=self.dpid, entries=entries))
+
+    def _sweep_expired(self) -> None:
+        for removed in self.table.expire(self.sim.now):
+            if removed.entry.send_flow_removed:
+                self._send_flow_removed(removed.entry, removed.reason)
+
+    def _send_flow_removed(self, entry: FlowEntry, reason: str) -> None:
+        self._reply(
+            msg.FlowRemoved(
+                dpid=self.dpid,
+                match=entry.match,
+                priority=entry.priority,
+                cookie=entry.cookie,
+                reason=reason,
+                duration_s=self.sim.now - entry.created_at,
+                packets=entry.packets,
+                bytes=entry.bytes,
+            )
+        )
+
+    def _reply(self, message: msg.Message) -> None:
+        if self.channel is not None:
+            self.channel.to_controller(message)
+
+    def features(self) -> msg.FeaturesReply:
+        """The FeaturesReply advertised on channel establishment."""
+        return msg.FeaturesReply(
+            dpid=self.dpid,
+            ports=tuple(sorted(self.ports)),
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures for the LiveSec reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Policy, PolicyTable, build_livesec_network
+from repro.core.policy import FlowSelector, PolicyAction
+from repro.net.simulator import Simulator
+
+GATEWAY_IP = "10.255.255.254"
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def ids_policy_table():
+    """Internet-bound traffic chained through one IDS element."""
+    table = PolicyTable()
+    table.add(
+        Policy(
+            name="inspect-internet",
+            selector=FlowSelector(dst_ip=GATEWAY_IP),
+            action=PolicyAction.CHAIN,
+            service_chain=("ids",),
+        )
+    )
+    return table
+
+
+@pytest.fixture
+def small_net():
+    """A started 2-switch LiveSec network with no policies."""
+    net = build_livesec_network(topology="linear", num_as=2, hosts_per_as=1)
+    net.start()
+    return net
+
+
+@pytest.fixture
+def steering_net(ids_policy_table):
+    """A started 3-switch network with 2 IDS elements and the IDS policy."""
+    net = build_livesec_network(
+        topology="linear",
+        policies=ids_policy_table,
+        elements=[("ids", 2)],
+        num_as=3,
+        hosts_per_as=2,
+    )
+    net.start()
+    return net

@@ -1,0 +1,183 @@
+"""Unit tests for the traditional and PLayer baseline architectures."""
+
+import pytest
+
+from repro.baselines import (
+    InlineMiddlebox,
+    build_pswitch_network,
+    build_traditional_network,
+)
+from repro.baselines.traditional import INSIDE_PORT, OUTSIDE_PORT
+from repro.elements.signatures import DEFAULT_IDS_RULES
+from repro.net import packet as pkt
+from repro.net.node import Node, connect
+from repro.net.simulator import Simulator
+from repro.workloads import CbrUdpFlow
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, frame, in_port):
+        self.received.append(frame)
+
+
+class TestInlineMiddlebox:
+    def test_forwards_between_arms(self, sim):
+        middlebox = InlineMiddlebox(sim, "m", capacity_bps=1e9)
+        inside, outside = Sink(sim, "in"), Sink(sim, "out")
+        connect(sim, inside, middlebox, port_b=INSIDE_PORT)
+        connect(sim, outside, middlebox, port_b=OUTSIDE_PORT)
+        frame = pkt.make_udp("a", "b", "1.1.1.1", "2.2.2.2", 1, 2)
+        middlebox.receive(frame, INSIDE_PORT)
+        sim.run()
+        assert len(outside.received) == 1
+        assert middlebox.processed_packets == 1
+
+    def test_reverse_direction(self, sim):
+        middlebox = InlineMiddlebox(sim, "m")
+        inside, outside = Sink(sim, "in"), Sink(sim, "out")
+        connect(sim, inside, middlebox, port_b=INSIDE_PORT)
+        connect(sim, outside, middlebox, port_b=OUTSIDE_PORT)
+        middlebox.receive(pkt.make_udp("a", "b", "1.1.1.1", "2.2.2.2", 1, 2),
+                          OUTSIDE_PORT)
+        sim.run()
+        assert len(inside.received) == 1
+
+    def test_capacity_limits_throughput(self, sim):
+        middlebox = InlineMiddlebox(sim, "m", capacity_bps=12e6,
+                                    per_packet_cost_s=0.0,
+                                    max_queue_bytes=10**9)
+        inside, outside = Sink(sim, "in"), Sink(sim, "out")
+        connect(sim, inside, middlebox, port_b=INSIDE_PORT)
+        connect(sim, outside, middlebox, port_b=OUTSIDE_PORT,
+                bandwidth_bps=1e9)
+        for __ in range(100):
+            middlebox.receive(
+                pkt.make_udp("a", "b", "1.1.1.1", "2.2.2.2", 1, 2,
+                             size=1500), INSIDE_PORT)
+        sim.run(until=0.05)
+        # 12 Mbps -> 1000 pps -> ~50 frames in 50 ms.
+        assert 40 <= len(outside.received) <= 55
+
+    def test_overflow_drops(self, sim):
+        middlebox = InlineMiddlebox(sim, "m", capacity_bps=1e6,
+                                    max_queue_bytes=3000)
+        inside, outside = Sink(sim, "in"), Sink(sim, "out")
+        connect(sim, inside, middlebox, port_b=INSIDE_PORT)
+        connect(sim, outside, middlebox, port_b=OUTSIDE_PORT)
+        for __ in range(5):
+            middlebox.receive(
+                pkt.make_udp("a", "b", "1.1.1.1", "2.2.2.2", 1, 2,
+                             size=1500), INSIDE_PORT)
+        sim.run(until=1.0)
+        assert middlebox.dropped_overload == 3
+
+    def test_inline_ids_drops_malicious(self, sim):
+        middlebox = InlineMiddlebox(sim, "m", rules=DEFAULT_IDS_RULES)
+        inside, outside = Sink(sim, "in"), Sink(sim, "out")
+        connect(sim, inside, middlebox, port_b=INSIDE_PORT)
+        connect(sim, outside, middlebox, port_b=OUTSIDE_PORT)
+        bad = pkt.make_tcp("a", "b", "1.1.1.1", "2.2.2.2", 1, 80,
+                           payload=b"' OR '1'='1")
+        good = pkt.make_tcp("a", "b", "1.1.1.1", "2.2.2.2", 1, 80,
+                            payload=b"GET / HTTP/1.1")
+        middlebox.receive(bad, INSIDE_PORT)
+        middlebox.receive(good, INSIDE_PORT)
+        sim.run()
+        assert len(outside.received) == 1
+        assert middlebox.dropped_malicious == 1
+
+
+class TestTraditionalNetwork:
+    def test_end_to_end_through_middlebox(self):
+        net = build_traditional_network()
+        net.run(1.0)
+        net.announce_all()
+        net.run(0.5)
+        flow = CbrUdpFlow(net.sim, net.host("h1"), net.gateway.ip,
+                          rate_bps=5e6, duration_s=1.0)
+        flow.start()
+        net.run(2.0)
+        assert flow.delivered_bytes(net.gateway) > 0
+        assert net.middlebox.processed_packets > 0
+
+    def test_east_west_bypasses_middlebox(self):
+        """The coverage hole the paper criticizes: internal traffic
+        never touches the gateway middlebox."""
+        net = build_traditional_network()
+        net.run(1.0)
+        net.announce_all()
+        net.run(0.5)
+        h1, h2 = net.host("h1"), net.host("h3")  # different access switches
+        bytes_before = net.middlebox.processed_bytes
+        flow = CbrUdpFlow(net.sim, h1, h2.ip, rate_bps=5e6, duration_s=1.0,
+                          packet_size=1500)
+        flow.start()
+        net.run(2.0)
+        assert flow.delivered_bytes(h2) > 0
+        # ARP floods and STP hellos do reach the inline box (64B
+        # chatter at ~20/s), but none of the 1500-byte data frames may.
+        assert net.middlebox.processed_bytes - bytes_before < 5000
+        assert flow.delivered_bytes(h2) > 100 * 1500
+
+    def test_without_middlebox_is_pure_legacy(self):
+        net = build_traditional_network(with_middlebox=False)
+        net.run(1.0)
+        net.announce_all()
+        net.run(0.5)
+        host = net.host("h1")
+        host.ping(net.gateway.ip)
+        net.run(1.0)
+        assert len(host.ping_rtts) == 1
+        assert net.middlebox is None
+
+
+class TestPSwitchNetwork:
+    def test_gateway_traffic_steered_through_local_middlebox(self):
+        net = build_pswitch_network()
+        net.run(1.0)
+        net.announce_all()
+        net.run(0.5)
+        flow = CbrUdpFlow(net.sim, net.host("h1"), net.gateway.ip,
+                          rate_bps=5e6, duration_s=1.0)
+        flow.start()
+        net.run(2.0)
+        assert flow.delivered_bytes(net.gateway) > 0
+        assert net.middleboxes[0].processed_packets > 0
+        assert net.pswitches[0].steered > 0
+
+    def test_other_zone_middleboxes_stay_idle(self):
+        """PLayer's limitation: the hot zone cannot borrow capacity."""
+        net = build_pswitch_network(num_pswitches=3)
+        net.run(1.0)
+        net.announce_all()
+        net.run(0.5)
+        flow = CbrUdpFlow(net.sim, net.host("h1"), net.gateway.ip,
+                          rate_bps=5e6, duration_s=1.0)
+        flow.start()
+        net.run(2.0)
+        assert net.middleboxes[0].processed_packets > 0
+        assert net.middleboxes[1].processed_packets == 0
+        assert net.middleboxes[2].processed_packets == 0
+
+    def test_non_gateway_traffic_not_steered(self):
+        net = build_pswitch_network(hosts_per_pswitch=2)
+        net.run(1.0)
+        net.announce_all()
+        net.run(0.5)
+        h1, h2 = net.host("h1"), net.host("h2")  # same pswitch
+        flow = CbrUdpFlow(net.sim, h1, h2.ip, rate_bps=5e6, duration_s=0.5)
+        flow.start()
+        net.run(1.5)
+        assert flow.delivered_bytes(h2) > 0
+        assert net.middleboxes[0].processed_packets == 0
+
+    def test_utilization_report(self):
+        net = build_pswitch_network()
+        net.run(1.0)
+        utilizations = net.middlebox_utilizations(window_start=0.0)
+        assert len(utilizations) == 4
+        assert all(u == 0.0 for u in utilizations)

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface and ASCII charts."""
+
+import pytest
+
+from repro.analysis.ascii_charts import bar_chart, sparkline, utilization_meter
+from repro.cli import build_parser, main
+
+
+class TestAsciiCharts:
+    def test_sparkline_scales_to_max(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_sparkline_fixed_maximum(self):
+        low = sparkline([1, 1], maximum=8)
+        assert set(low) == {"▁"} or set(low) == {"▂"}
+
+    def test_sparkline_empty_and_zero(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "▁▁"
+
+    def test_bar_chart_layout(self):
+        chart = bar_chart({"aa": 2.0, "b": 1.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].startswith("aa  ████")
+        assert lines[1].startswith("b ")
+        assert "██" in lines[1]
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_utilization_meter(self):
+        assert utilization_meter(0.5, width=4) == "[##--] 50%"
+        assert utilization_meter(2.0, width=2) == "[##] 100%"
+        assert utilization_meter(-1.0, width=2) == "[--] 0%"
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("campus", "throughput", "latency", "loadbalance",
+                        "scale"):
+            assert command in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_dispatcher_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loadbalance", "--dispatcher", "roulette"])
+
+
+class TestCommands:
+    def test_latency_command_runs(self, capsys):
+        assert main(["latency", "--pings", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "legacy:" in out and "overhead:" in out
+
+    def test_throughput_command_runs(self, capsys):
+        assert main(["throughput", "--elements", "1",
+                     "--seconds", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "element(s)" in out and "Mbps" in out
+
+    def test_loadbalance_command_runs(self, capsys):
+        assert main(["loadbalance", "--dispatcher", "polling",
+                     "--seconds", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "deviation:" in out
+
+    def test_campus_command_dumps_json(self, tmp_path, capsys):
+        path = str(tmp_path / "db.json")
+        assert main(["campus", "--dump-json", path]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Figure 8" in out
+        from repro.core.webdb import WebDatabase
+
+        loaded = WebDatabase.load(path)
+        assert loaded["events"]

@@ -1,0 +1,158 @@
+"""Edge cases in the controller's packet-in handling."""
+
+import pytest
+
+from repro import Policy, PolicyTable, build_livesec_network
+from repro.core import messages as svcmsg
+from repro.core.policy import FlowSelector, PolicyAction
+from repro.net import packet as pkt
+from repro.workloads import AttackWebFlow, CbrUdpFlow
+
+GATEWAY_IP = "10.255.255.254"
+
+
+class TestUnknownDestinations:
+    def test_packet_to_unknown_ip_falls_back_to_periphery_flood(
+            self, small_net):
+        src = small_net.host("h1_1")
+        src.arp_timeout_s = 1e9
+        # Forge an ARP entry so the host sends without resolving.
+        src.arp_table["10.0.9.9"] = ("00:00:00:00:77:77", small_net.sim.now)
+        src.send_udp("10.0.9.9", 1, 2)
+        small_net.run(1.0)
+        # No session for an unknown destination, and nothing crashed.
+        assert len(small_net.controller.sessions) == 0
+
+    def test_arp_for_unknown_ip_floods_to_periphery(self, small_net):
+        src = small_net.host("h1_1")
+        floods_before = small_net.controller.directory.arp_floods
+        src.resolve_and_send(
+            pkt.make_udp(src.mac, pkt.BROADCAST_MAC, src.ip, "10.0.9.9",
+                         1, 2),
+            "10.0.9.9",
+        )
+        small_net.run(1.0)
+        assert small_net.controller.directory.arp_floods == floods_before + 1
+
+
+class TestBlockedSessions:
+    def test_blocked_session_packets_not_released(self):
+        policies = PolicyTable()
+        policies.add(Policy(
+            name="chain", selector=FlowSelector(dst_ip=GATEWAY_IP),
+            action=PolicyAction.CHAIN, service_chain=("ids",),
+        ))
+        net = build_livesec_network(
+            topology="linear", policies=policies, elements=[("ids", 1)],
+            num_as=3, hosts_per_as=1,
+        )
+        net.start()
+        attack = AttackWebFlow(net.sim, net.host("h1_1"), GATEWAY_IP,
+                               rate_bps=2e6, attack_after=2, duration_s=6.0)
+        attack.start()
+        net.run(3.0)
+        session = net.controller.sessions.lookup(
+            next(iter(net.controller.sessions)).flow)
+        assert session.blocked
+        at_block = attack.delivered_bytes(net.gateway)
+        net.run(3.0)
+        attack.stop()
+        assert attack.delivered_bytes(net.gateway) == at_block
+
+
+class TestServiceMessageEdgeCases:
+    def test_malformed_magic_message_blocks_sender(self, small_net):
+        from repro.net.host import Host
+        from repro.net.node import connect
+
+        liar = Host(small_net.sim, "liar", "00:00:00:00:88:88", "10.8.8.8")
+        connect(small_net.sim, small_net.topology.as_switches[0], liar,
+                bandwidth_bps=1e9, delay_s=5e-6)
+        frame = pkt.make_udp(
+            liar.mac, svcmsg.CONTROLLER_MAC, liar.ip, svcmsg.CONTROLLER_IP,
+            svcmsg.SERVICE_MESSAGE_PORT, svcmsg.SERVICE_MESSAGE_PORT,
+            payload=b"LIVESEC1|x|GARBAGE",
+        )
+        liar.send(frame, 1)
+        small_net.run(1.0)
+        switch = small_net.topology.as_switches[0]
+        assert any(
+            entry.is_drop and entry.match.dl_src == liar.mac
+            for entry in switch.table
+        )
+
+    def test_event_report_with_forged_cert_blocks_element(self, small_net):
+        from repro.net.host import Host
+        from repro.net.node import connect
+
+        liar = Host(small_net.sim, "liar", "00:00:00:00:88:89", "10.8.8.9")
+        connect(small_net.sim, small_net.topology.as_switches[0], liar,
+                bandwidth_bps=1e9, delay_s=5e-6)
+        message = svcmsg.EventReportMessage(
+            element_mac=liar.mac, certificate="forged", kind="attack",
+            flow=None, detail={"attack": "fake"},
+        )
+        frame = pkt.make_udp(
+            liar.mac, svcmsg.CONTROLLER_MAC, liar.ip, svcmsg.CONTROLLER_IP,
+            svcmsg.SERVICE_MESSAGE_PORT, svcmsg.SERVICE_MESSAGE_PORT,
+            payload=svcmsg.encode_event(message),
+        )
+        liar.send(frame, 1)
+        small_net.run(1.0)
+        # The forged attack report must neither block a victim nor be
+        # accepted: the liar itself gets blocked.
+        assert small_net.controller.counters["flows_blocked"] == 0
+        switch = small_net.topology.as_switches[0]
+        assert any(
+            entry.is_drop and entry.match.dl_src == liar.mac
+            for entry in switch.table
+        )
+
+
+class TestPolicyDynamics:
+    def test_policy_added_at_runtime_applies_to_new_flows(self, small_net):
+        src = small_net.host("h1_1")
+        first = CbrUdpFlow(small_net.sim, src, GATEWAY_IP, rate_bps=2e6,
+                           duration_s=1.0, sport=25001)
+        first.start()
+        small_net.run(2.0)
+        assert first.delivered_bytes(small_net.gateway) > 0
+
+        small_net.controller.policies.add(Policy(
+            name="late-drop", selector=FlowSelector(dst_ip=GATEWAY_IP),
+            action=PolicyAction.DROP,
+        ))
+        small_net.run(6.0)  # old session idles out
+        second = CbrUdpFlow(small_net.sim, src, GATEWAY_IP, rate_bps=2e6,
+                            duration_s=1.0, sport=25002)
+        second.start()
+        small_net.run(2.0)
+        assert second.delivered_bytes(small_net.gateway) == 0
+
+    def test_icmp_matches_policies_by_ip(self):
+        policies = PolicyTable()
+        policies.add(Policy(
+            name="drop-gw", selector=FlowSelector(dst_ip=GATEWAY_IP),
+            action=PolicyAction.DROP,
+        ))
+        net = build_livesec_network(topology="linear", policies=policies,
+                                    num_as=2, hosts_per_as=1)
+        net.start()
+        host = net.host("h1_1")
+        host.ping(GATEWAY_IP)
+        net.run(2.0)
+        assert host.ping_rtts == []
+
+
+class TestRoutingDeferred:
+    def test_traffic_before_discovery_is_deferred_not_crashed(self):
+        net = build_livesec_network(topology="linear", num_as=2,
+                                    hosts_per_as=1)
+        # No start(): discovery has not run; hosts unknown.
+        src = net.host("h1_1")
+        src.announce()
+        src.arp_table[GATEWAY_IP] = (net.gateway.mac, 0.0)
+        src.send_udp(GATEWAY_IP, 1, 2)
+        net.run(0.005)  # before the first LLDP round completes
+        # Either ignored as transit or learned-but-unroutable; no state.
+        assert len(net.controller.sessions) == 0

@@ -1,0 +1,73 @@
+"""Unit tests for the ARP/DHCP directory proxy."""
+
+import pytest
+
+from repro.core.directory import DirectoryProxy
+from repro.core.nib import NetworkInformationBase
+from repro.net.packet import Arp, Dhcp
+
+
+@pytest.fixture
+def proxy():
+    nib = NetworkInformationBase()
+    nib.learn_host("mB", "10.0.0.2", dpid=2, port=3, now=0.0)
+    return DirectoryProxy(nib)
+
+
+def request(target_ip="10.0.0.2", sender_ip="10.0.0.1", sender_mac="mA"):
+    return Arp(opcode=Arp.REQUEST, sender_mac=sender_mac,
+               sender_ip=sender_ip, target_mac="ff:ff:ff:ff:ff:ff",
+               target_ip=target_ip)
+
+
+class TestArpProxy:
+    def test_known_target_answered_from_nib(self, proxy):
+        decision = proxy.handle_arp_request(request())
+        assert decision.action == "reply"
+        reply = decision.reply_frame.payload
+        assert reply.opcode == Arp.REPLY
+        assert reply.sender_mac == "mB"
+        assert reply.sender_ip == "10.0.0.2"
+        assert reply.target_mac == "mA"
+        assert decision.reply_frame.dst == "mA"
+        assert proxy.arp_replies == 1
+
+    def test_unknown_target_floods(self, proxy):
+        decision = proxy.handle_arp_request(request(target_ip="10.9.9.9"))
+        assert decision.action == "flood"
+        assert decision.reply_frame is None
+        assert proxy.arp_floods == 1
+
+    def test_gratuitous_arp_ignored(self, proxy):
+        decision = proxy.handle_arp_request(
+            request(target_ip="10.0.0.1", sender_ip="10.0.0.1"))
+        assert decision.action == "ignore"
+        assert proxy.arp_replies == 0 and proxy.arp_floods == 0
+
+
+class TestDhcp:
+    def test_discover_gets_offer(self, proxy):
+        response = proxy.handle_dhcp(Dhcp(opcode="discover", client_mac="mC"))
+        assert response.opcode == "offer"
+        assert response.offered_ip is not None
+
+    def test_request_gets_ack_with_same_lease(self, proxy):
+        offer = proxy.handle_dhcp(Dhcp(opcode="discover", client_mac="mC"))
+        ack = proxy.handle_dhcp(Dhcp(opcode="request", client_mac="mC"))
+        assert ack.opcode == "ack"
+        assert ack.offered_ip == offer.offered_ip
+        assert proxy.lease_of("mC") == offer.offered_ip
+        assert proxy.dhcp_acks == 1
+
+    def test_distinct_clients_distinct_leases(self, proxy):
+        a = proxy.handle_dhcp(Dhcp(opcode="discover", client_mac="mC"))
+        b = proxy.handle_dhcp(Dhcp(opcode="discover", client_mac="mD"))
+        assert a.offered_ip != b.offered_ip
+
+    def test_lease_is_stable_across_discovers(self, proxy):
+        first = proxy.handle_dhcp(Dhcp(opcode="discover", client_mac="mC"))
+        second = proxy.handle_dhcp(Dhcp(opcode="discover", client_mac="mC"))
+        assert first.offered_ip == second.offered_ip
+
+    def test_other_opcodes_ignored(self, proxy):
+        assert proxy.handle_dhcp(Dhcp(opcode="ack", client_mac="mC")) is None

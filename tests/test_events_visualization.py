@@ -1,0 +1,165 @@
+"""Unit tests for the event log, monitoring component and replay."""
+
+import pytest
+
+from repro.core.events import EventKind, EventLog, NetworkEvent
+from repro.core.visualization import (
+    MonitoringComponent,
+    Snapshot,
+    render_snapshot,
+)
+
+
+class TestEventLog:
+    def test_emit_and_query_by_kind(self):
+        log = EventLog()
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1")
+        log.emit(2.0, EventKind.HOST_LEAVE, mac="m1")
+        log.emit(3.0, EventKind.HOST_JOIN, mac="m2")
+        joins = log.query(kind=EventKind.HOST_JOIN)
+        assert len(joins) == 2
+        assert joins[0].data["mac"] == "m1"
+
+    def test_query_by_time_window(self):
+        log = EventLog()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.emit(t, "tick")
+        assert len(log.query(since=2.0, until=3.0)) == 2
+
+    def test_query_with_predicate(self):
+        log = EventLog()
+        log.emit(1.0, "x", value=1)
+        log.emit(2.0, "x", value=2)
+        hits = log.query(where=lambda e: e.data["value"] > 1)
+        assert len(hits) == 1
+
+    def test_subscribers_see_events(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        event = log.emit(1.0, "x")
+        assert seen == [event]
+
+    def test_counts_and_tail(self):
+        log = EventLog()
+        for __ in range(3):
+            log.emit(1.0, "a")
+        log.emit(2.0, "b")
+        assert log.counts_by_kind() == {"a": 3, "b": 1}
+        assert [e.kind for e in log.tail(2)] == ["a", "b"]
+
+    def test_events_are_immutable(self):
+        event = NetworkEvent(time=1.0, kind="x", data={})
+        with pytest.raises(AttributeError):
+            event.kind = "y"
+
+
+@pytest.fixture
+def monitor():
+    log = EventLog()
+    return log, MonitoringComponent(log)
+
+
+class TestStateMachine:
+    def test_switch_and_link_lifecycle(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.SWITCH_JOIN, dpid=1, name="a")
+        log.emit(1.0, EventKind.SWITCH_JOIN, dpid=2, name="b")
+        log.emit(2.0, EventKind.LINK_UP, src_dpid=1, dst_dpid=2)
+        log.emit(2.0, EventKind.LINK_UP, src_dpid=2, dst_dpid=1)
+        snap = mon.snapshot()
+        assert sorted(snap.switches) == [1, 2]
+        assert snap.full_mesh()
+        log.emit(3.0, EventKind.SWITCH_LEAVE, dpid=2)
+        snap = mon.snapshot()
+        assert snap.switches == [1]
+        assert snap.links == []
+
+    def test_user_join_apps_and_block(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1", ip="10.0.0.1", dpid=1)
+        log.emit(2.0, EventKind.PROTOCOL_IDENTIFIED, user_mac="m1",
+                 application="http")
+        log.emit(2.5, EventKind.PROTOCOL_IDENTIFIED, user_mac="m1",
+                 application="http")  # duplicate app collapsed
+        log.emit(3.0, EventKind.ATTACK_DETECTED, user_mac="m1", attack="sqli")
+        log.emit(3.0, EventKind.FLOW_BLOCKED, user_mac="m1")
+        user = mon.snapshot().users["m1"]
+        assert user.applications == ["http"]
+        assert user.attacks == 1 and user.blocked
+
+    def test_host_leave_keeps_record_offline(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1", ip=None, dpid=1)
+        log.emit(2.0, EventKind.HOST_LEAVE, mac="m1")
+        snap = mon.snapshot()
+        assert not snap.users["m1"].online
+        assert snap.online_users() == []
+
+    def test_element_lifecycle_and_load(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.ELEMENT_ONLINE, mac="e1",
+                 service_type="ids", dpid=2)
+        log.emit(2.0, EventKind.ELEMENT_LOAD, mac="e1", cpu=0.7, pps=500)
+        element = mon.snapshot().elements["e1"]
+        assert element.service_type == "ids"
+        assert element.cpu == 0.7 and element.pps == 500
+        log.emit(3.0, EventKind.ELEMENT_OFFLINE, mac="e1")
+        assert not mon.snapshot().elements["e1"].online
+
+    def test_link_load_latest_value_wins(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.LINK_LOAD, dpid=1, port=2, utilization=0.1)
+        log.emit(2.0, EventKind.LINK_LOAD, dpid=1, port=2, utilization=0.8)
+        assert mon.snapshot().link_loads[(1, 2)] == 0.8
+
+    def test_host_move_updates_dpid(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1", ip=None, dpid=1)
+        log.emit(2.0, EventKind.HOST_MOVE, mac="m1", dpid=3)
+        assert mon.snapshot().users["m1"].dpid == 3
+
+
+class TestReplay:
+    def test_replay_reconstructs_past(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1", ip=None, dpid=1)
+        log.emit(5.0, EventKind.HOST_LEAVE, mac="m1")
+        past = mon.replay(until=3.0)
+        assert past.users["m1"].online
+        now = mon.replay()
+        assert not now.users["m1"].online
+
+    def test_replay_series_is_incremental(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1", ip=None, dpid=1)
+        log.emit(3.0, EventKind.HOST_JOIN, mac="m2", ip=None, dpid=1)
+        series = list(mon.replay_series([0.5, 2.0, 4.0]))
+        assert len(series[0].users) == 0
+        assert len(series[1].users) == 1
+        assert len(series[2].users) == 2
+
+    def test_snapshot_is_isolated_copy(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1", ip=None, dpid=1)
+        snap = mon.snapshot()
+        snap.users["m1"].online = False
+        assert mon.snapshot().users["m1"].online
+
+
+class TestRender:
+    def test_render_contains_key_facts(self, monitor):
+        log, mon = monitor
+        log.emit(1.0, EventKind.SWITCH_JOIN, dpid=1, name="a")
+        log.emit(1.0, EventKind.HOST_JOIN, mac="m1", ip="10.0.0.1", dpid=1)
+        log.emit(2.0, EventKind.ELEMENT_ONLINE, mac="e1",
+                 service_type="ids", dpid=1)
+        log.emit(3.0, EventKind.ATTACK_DETECTED, user_mac="m1", attack="x")
+        text = render_snapshot(mon.snapshot())
+        assert "users online: 1" in text
+        assert "m1" in text and "e1" in text
+        assert "attacks" in text
+
+    def test_render_empty_snapshot(self):
+        text = render_snapshot(Snapshot(time=0.0))
+        assert "users online: 0" in text

@@ -1,0 +1,98 @@
+"""Tests for aggregate flow control (the Section IV.C extension)."""
+
+import pytest
+
+from repro.core.flowcontrol import USER_THROTTLED, AggregateFlowControl
+from repro.workloads import CbrUdpFlow
+
+GATEWAY_IP = "10.255.255.254"
+
+
+class TestConfiguration:
+    def test_quota_set_and_clear(self, small_net):
+        control = AggregateFlowControl(small_net.controller)
+        control.set_quota("m1", 1e6)
+        assert control.quota_for("m1") == 1e6
+        control.set_quota("m1", None)
+        assert control.quota_for("m1") is None
+
+    def test_default_quota_applies_to_unknown_users(self, small_net):
+        control = AggregateFlowControl(small_net.controller,
+                                       default_quota_bps=2e6)
+        assert control.quota_for("anyone") == 2e6
+
+    def test_invalid_parameters(self, small_net):
+        with pytest.raises(ValueError):
+            AggregateFlowControl(small_net.controller, check_interval_s=0)
+        control = AggregateFlowControl(small_net.controller)
+        with pytest.raises(ValueError):
+            control.set_quota("m1", -5)
+
+
+class TestEnforcement:
+    def test_over_quota_user_throttled(self, small_net):
+        host = small_net.host("h1_1")
+        control = AggregateFlowControl(small_net.controller,
+                                       check_interval_s=0.5,
+                                       penalty_s=2.0)
+        control.set_quota(host.mac, 2e6)
+        flow = CbrUdpFlow(small_net.sim, host, GATEWAY_IP, rate_bps=20e6)
+        flow.start()
+        small_net.run(3.0)
+        flow.stop()
+        assert control.throttle_events >= 1
+        events = small_net.controller.log.query(kind=USER_THROTTLED)
+        assert events and events[0].data["user_mac"] == host.mac
+        assert events[0].data["rate_bps"] > 2e6
+
+    def test_penalty_actually_stops_traffic(self, small_net):
+        host = small_net.host("h1_1")
+        control = AggregateFlowControl(small_net.controller,
+                                       check_interval_s=0.5,
+                                       penalty_s=60.0)
+        control.set_quota(host.mac, 1e6)
+        flow = CbrUdpFlow(small_net.sim, host, GATEWAY_IP, rate_bps=20e6)
+        flow.start()
+        small_net.run(3.0)
+        delivered_at_penalty = flow.delivered_bytes(small_net.gateway)
+        small_net.run(2.0)
+        flow.stop()
+        leaked = flow.delivered_bytes(small_net.gateway) - delivered_at_penalty
+        # A little in-flight slack, then silence.
+        assert leaked < 20e6 * 0.2 / 8
+        assert host.mac in control.penalized_users()
+
+    def test_penalty_expires_and_traffic_resumes(self, small_net):
+        host = small_net.host("h1_1")
+        control = AggregateFlowControl(small_net.controller,
+                                       check_interval_s=0.5,
+                                       penalty_s=1.5)
+        control.set_quota(host.mac, 1e6)
+        flow = CbrUdpFlow(small_net.sim, host, GATEWAY_IP, rate_bps=20e6)
+        flow.start()
+        small_net.run(10.0)
+        flow.stop()
+        # Duty cycle: throttled, released, re-throttled, ...
+        assert control.throttle_events >= 2
+
+    def test_under_quota_user_untouched(self, small_net):
+        host = small_net.host("h1_1")
+        control = AggregateFlowControl(small_net.controller,
+                                       check_interval_s=0.5)
+        control.set_quota(host.mac, 50e6)
+        flow = CbrUdpFlow(small_net.sim, host, GATEWAY_IP, rate_bps=5e6,
+                          duration_s=3.0)
+        flow.start()
+        small_net.run(4.0)
+        assert control.throttle_events == 0
+        assert flow.delivered_bytes(small_net.gateway) > 0
+
+    def test_no_quota_means_no_enforcement(self, small_net):
+        host = small_net.host("h1_1")
+        control = AggregateFlowControl(small_net.controller,
+                                       check_interval_s=0.5)
+        flow = CbrUdpFlow(small_net.sim, host, GATEWAY_IP, rate_bps=50e6,
+                          duration_s=3.0)
+        flow.start()
+        small_net.run(4.0)
+        assert control.throttle_events == 0

@@ -1,0 +1,206 @@
+"""End-to-end scenario tests crossing all subsystems."""
+
+import pytest
+
+from repro import Policy, PolicyTable, build_livesec_network
+from repro.core.events import EventKind
+from repro.core.policy import FlowSelector, Granularity, PolicyAction
+from repro.core.visualization import render_snapshot
+from repro.workloads import (
+    AttackWebFlow,
+    BitTorrentFlow,
+    HttpFlow,
+    VirusDownloadFlow,
+)
+from repro.workloads.users import UserBehavior
+
+GATEWAY_IP = "10.255.255.254"
+
+
+def chain_policies(*chain, granularity=Granularity.FLOW):
+    table = PolicyTable()
+    table.add(Policy(
+        name="chain",
+        selector=FlowSelector(dst_ip=GATEWAY_IP),
+        action=PolicyAction.CHAIN,
+        service_chain=tuple(chain),
+        granularity=granularity,
+    ))
+    return table
+
+
+class TestServiceChains:
+    def test_two_element_chain_traverses_both(self):
+        net = build_livesec_network(
+            topology="linear", policies=chain_policies("l7", "ids"),
+            elements=[("ids", 1), ("l7", 1)], num_as=3, hosts_per_as=1,
+        )
+        net.start()
+        flow = HttpFlow(net.sim, net.host("h1_1"), GATEWAY_IP,
+                        rate_bps=4e6, duration_s=2.0)
+        flow.start()
+        net.run(3.0)
+        assert flow.delivered_bytes(net.gateway) > 0
+        for element in net.elements:
+            assert element.processed_packets > 0, element.name
+
+    def test_l7_identifies_application_for_monitoring(self):
+        net = build_livesec_network(
+            topology="linear", policies=chain_policies("l7"),
+            elements=[("l7", 1)], num_as=2, hosts_per_as=1,
+        )
+        net.start()
+        BitTorrentFlow(net.sim, net.host("h1_1"), GATEWAY_IP,
+                       rate_bps=4e6, duration_s=2.0).start()
+        net.run(3.0)
+        identified = net.controller.log.query(
+            kind=EventKind.PROTOCOL_IDENTIFIED)
+        assert any(e.data["application"] == "bittorrent" for e in identified)
+        snap = net.monitoring.snapshot()
+        user = snap.users[net.host("h1_1").mac]
+        assert "bittorrent" in user.applications
+
+    def test_virus_chain_blocks_download(self):
+        net = build_livesec_network(
+            topology="linear", policies=chain_policies("virus"),
+            elements=[("virus", 1)], num_as=3, hosts_per_as=1,
+        )
+        net.start()
+        flow = VirusDownloadFlow(net.sim, net.host("h1_1"), GATEWAY_IP,
+                                 rate_bps=2e6, infected_packet=4,
+                                 duration_s=4.0)
+        flow.start()
+        net.run(6.0)
+        blocks = net.controller.log.query(kind=EventKind.FLOW_BLOCKED)
+        assert blocks
+        delivered_at_block = flow.delivered_bytes(net.gateway)
+        net.run(2.0)
+        assert flow.delivered_bytes(net.gateway) == delivered_at_block
+
+
+class TestEastWestCoverage:
+    def test_internal_traffic_inspected(self):
+        """Full-mesh security: host-to-host flows are chained too."""
+        policies = PolicyTable()
+        policies.add(Policy(
+            name="east-west",
+            selector=FlowSelector(src_ip_prefix="10.0.",
+                                  dst_ip_prefix="10.0."),
+            action=PolicyAction.CHAIN,
+            service_chain=("ids",),
+        ))
+        net = build_livesec_network(
+            topology="star", policies=policies, elements=[("ids", 1)],
+            num_as=3, hosts_per_as=1,
+        )
+        net.start()
+        h1, h3 = net.host("h1_1"), net.host("h3_1")
+        flow = HttpFlow(net.sim, h1, h3.ip, rate_bps=4e6, duration_s=1.5)
+        flow.start()
+        net.run(3.0)
+        assert flow.delivered_bytes(h3) > 0
+        assert net.elements[0].processed_packets > 0
+
+    def test_attacker_blocked_before_crossing_fabric(self):
+        policies = PolicyTable()
+        policies.add(Policy(
+            name="east-west",
+            selector=FlowSelector(src_ip_prefix="10.0.",
+                                  dst_ip_prefix="10.0."),
+            action=PolicyAction.CHAIN,
+            service_chain=("ids",),
+        ))
+        net = build_livesec_network(
+            topology="star", policies=policies, elements=[("ids", 1)],
+            num_as=3, hosts_per_as=1,
+        )
+        net.start()
+        victim = net.host("h3_1")
+        attack = AttackWebFlow(net.sim, net.host("h1_1"), victim.ip,
+                               rate_bps=2e6, duration_s=5.0)
+        attack.start()
+        net.run(2.0)
+        at_block = attack.delivered_bytes(victim)
+        net.run(3.0)
+        leaked = attack.delivered_bytes(victim) - at_block
+        assert net.controller.counters["flows_blocked"] >= 1
+        assert leaked == 0
+
+
+class TestUserGranularitySessions:
+    def test_users_pinned_to_one_element(self):
+        net = build_livesec_network(
+            topology="linear",
+            policies=chain_policies("ids", granularity=Granularity.USER),
+            elements=[("ids", 3)], num_as=4, hosts_per_as=1,
+        )
+        net.start()
+        host = net.host("h4_1")
+        for index in range(3):
+            HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=2e6,
+                     duration_s=2.0, sport=30000 + index).start()
+        net.run(3.0)
+        used = [e for e in net.elements if e.processed_packets > 0]
+        assert len(used) == 1, "user-grain must pin all flows to one element"
+
+
+class TestVmMigration:
+    def test_element_location_follows_migration(self):
+        """Moving a VM-based element to another switch re-learns its
+        location from its next online message (Section III.D.1)."""
+        net = build_livesec_network(
+            topology="linear", policies=chain_policies("ids"),
+            elements=[("ids", 1)], num_as=3, hosts_per_as=1,
+        )
+        net.start()
+        element = net.elements[0]
+        record = net.controller.nib.host_by_mac(element.mac)
+        old_dpid = record.dpid
+        # Unplug and rewire on another switch (live migration).
+        old_port = element.port(1)
+        old_link = old_port.link
+        old_switch_port = old_link.other_end(old_port)
+        old_link.set_up(False)
+        old_port.link = None
+        old_switch_port.link = None
+        from repro.net.node import connect
+
+        target = next(s for s in net.topology.as_switches
+                      if s.dpid != old_dpid)
+        connect(net.sim, target, element, bandwidth_bps=1e9, delay_s=5e-6,
+                port_b=1)
+        net.run(2.0)
+        record = net.controller.nib.host_by_mac(element.mac)
+        assert record.dpid == target.dpid
+        # And steering still works end to end.
+        flow = HttpFlow(net.sim, net.host("h2_1"), GATEWAY_IP,
+                        rate_bps=2e6, duration_s=1.5)
+        flow.start()
+        net.run(3.0)
+        assert flow.delivered_bytes(net.gateway) > 0
+
+
+class TestChurnScenario:
+    def test_users_join_leave_with_monitoring(self):
+        net = build_livesec_network(
+            topology="linear", num_as=2, hosts_per_as=2,
+            host_timeout_s=4.0,
+        )
+        net.start()
+        user = UserBehavior(net.sim, net.host("h1_1"), GATEWAY_IP,
+                            profile="web", rate_bps=1e6)
+        user.join()
+        net.run(3.0)
+        assert net.monitoring.snapshot().users[user.host.mac].online
+        user.leave()
+        net.run(15.0)
+        assert not net.monitoring.snapshot().users[user.host.mac].online
+        leaves = net.controller.log.query(kind=EventKind.HOST_LEAVE)
+        assert any(e.data["mac"] == user.host.mac for e in leaves)
+
+    def test_render_runs_on_live_network(self, steering_net):
+        HttpFlow(steering_net.sim, steering_net.host("h1_1"), GATEWAY_IP,
+                 rate_bps=2e6, duration_s=1.0).start()
+        steering_net.run(2.0)
+        text = render_snapshot(steering_net.monitoring.snapshot())
+        assert "service elements: 2" in text

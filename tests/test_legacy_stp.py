@@ -1,0 +1,168 @@
+"""Unit tests for the legacy learning switch and spanning tree."""
+
+import pytest
+
+from repro.net import packet as pkt
+from repro.net.legacy import HELLO_INTERVAL_S, LegacySwitch
+from repro.net.host import Host
+from repro.net.node import connect
+
+
+def make_host(sim, index):
+    return Host(sim, f"h{index}", pkt.mac_address(index), pkt.ip_address(index))
+
+
+class TestLearning:
+    def test_unknown_destination_floods(self, sim):
+        switch = LegacySwitch(sim, "s", bridge_id=1, stp_enabled=False)
+        hosts = [make_host(sim, i) for i in (1, 2, 3)]
+        for host in hosts:
+            connect(sim, switch, host)
+        frame = pkt.make_udp(hosts[0].mac, hosts[1].mac,
+                             hosts[0].ip, hosts[1].ip, 1, 2)
+        hosts[0].send(frame, 1)
+        sim.run()
+        assert hosts[1].rx_frames == 1
+        # Host 3 received a copy on the wire (flood) but its IP stack
+        # dropped it (not addressed to it).
+        assert hosts[2].port(1).rx_packets == 1
+        assert hosts[2].rx_frames == 0
+
+    def test_learned_destination_unicasts(self, sim):
+        switch = LegacySwitch(sim, "s", bridge_id=1, stp_enabled=False)
+        hosts = [make_host(sim, i) for i in (1, 2, 3)]
+        for host in hosts:
+            connect(sim, switch, host)
+        # Teach the switch where host 2 is.
+        hosts[1].announce()
+        sim.run()
+        frame = pkt.make_udp(hosts[0].mac, hosts[1].mac,
+                             hosts[0].ip, hosts[1].ip, 1, 2)
+        hosts[0].send(frame, 1)
+        sim.run()
+        rx_before_host3 = hosts[2].port(1).rx_packets
+        assert hosts[1].rx_frames == 1
+        # No new flood copy for host 3 beyond the earlier announce.
+        assert hosts[2].port(1).rx_packets == rx_before_host3
+
+    def test_two_switch_forwarding(self, sim):
+        s1 = LegacySwitch(sim, "s1", bridge_id=1)
+        s2 = LegacySwitch(sim, "s2", bridge_id=2)
+        connect(sim, s1, s2)
+        h1, h2 = make_host(sim, 1), make_host(sim, 2)
+        connect(sim, s1, h1)
+        connect(sim, s2, h2)
+        sim.run(until=0.5)  # STP settle
+        h1.send_udp(h2.ip, 1, 2)
+        sim.run(until=1.0)
+        assert h2.rx_frames == 1
+
+
+class TestSpanningTree:
+    def _triangle(self, sim):
+        switches = [LegacySwitch(sim, f"s{i}", bridge_id=i) for i in (1, 2, 3)]
+        connect(sim, switches[0], switches[1])
+        connect(sim, switches[1], switches[2])
+        connect(sim, switches[2], switches[0])
+        return switches
+
+    def test_root_election_lowest_bridge_id(self, sim):
+        switches = self._triangle(sim)
+        sim.run(until=1.0)
+        for switch in switches:
+            assert switch.spanning_tree_state()["root_id"] == 1
+
+    def test_exactly_one_blocked_port_in_triangle(self, sim):
+        switches = self._triangle(sim)
+        sim.run(until=1.0)
+        blocked = [
+            (switch.name, port)
+            for switch in switches
+            for port, role in switch.spanning_tree_state()["roles"].items()
+            if role == "blocked"
+        ]
+        assert len(blocked) == 1
+
+    def test_broadcast_does_not_loop(self, sim):
+        switches = self._triangle(sim)
+        hosts = []
+        for index, switch in enumerate(switches, start=1):
+            host = make_host(sim, index)
+            connect(sim, switch, host)
+            hosts.append(host)
+        sim.run(until=1.0)
+        arp_copies = {"h2": 0, "h3": 0}
+        for host in hosts[1:]:
+            def spy(frame, in_port, host=host, original=host.receive):
+                if frame.ethertype == pkt.ETH_TYPE_ARP:
+                    arp_copies[host.name] += 1
+                original(frame, in_port)
+            host.receive = spy
+        hosts[0].announce()
+        sim.run(until=2.0)
+        # Each other host sees the broadcast exactly once; a loop
+        # would melt the event queue long before this assertion.
+        assert arp_copies == {"h2": 1, "h3": 1}
+
+    def test_failover_unblocks_redundant_path(self, sim):
+        switches = self._triangle(sim)
+        hosts = []
+        for index, switch in enumerate(switches, start=1):
+            host = make_host(sim, index)
+            connect(sim, switch, host)
+            hosts.append(host)
+        sim.run(until=1.0)
+        # Break the s1-s2 link; STP must re-converge via s3.
+        link = switches[0].port(1).link
+        link.set_up(False)
+        sim.run(until=3.0)
+        hosts[0].send_udp(hosts[1].ip, 1, 2)
+        sim.run(until=4.0)
+        assert hosts[1].rx_frames == 1
+
+    def test_edge_ports_forward(self, sim):
+        switch = LegacySwitch(sim, "s", bridge_id=5)
+        host = make_host(sim, 1)
+        connect(sim, switch, host)
+        sim.run(until=0.5)
+        assert switch.port_is_forwarding(1)
+
+
+class TestLldpFlooding:
+    def test_lldp_flooded_by_default(self, sim):
+        switch = LegacySwitch(sim, "s", bridge_id=1, stp_enabled=False)
+        sinks = [make_host(sim, i) for i in (1, 2)]
+        for sink in sinks:
+            connect(sim, switch, sink)
+        switch.receive(pkt.make_lldp(9, 1), in_port=1)
+        sim.run()
+        assert sinks[1].port(1).rx_packets == 1
+
+    def test_lldp_suppressed_when_disabled(self, sim):
+        switch = LegacySwitch(sim, "s", bridge_id=1, stp_enabled=False,
+                              flood_lldp=False)
+        sinks = [make_host(sim, i) for i in (1, 2)]
+        for sink in sinks:
+            connect(sim, switch, sink)
+        switch.receive(pkt.make_lldp(9, 1), in_port=1)
+        sim.run()
+        assert sinks[1].port(1).rx_packets == 0
+
+    def test_bpdus_consumed_not_forwarded(self, sim):
+        from repro.net.legacy import Bpdu, ETH_TYPE_BPDU
+        from repro.net.packet import Ethernet
+
+        # STP disabled so the switch emits no hellos of its own; an
+        # injected BPDU must still be consumed, never re-flooded.
+        switch = LegacySwitch(sim, "s", bridge_id=1, stp_enabled=False)
+        h1, h2 = make_host(sim, 1), make_host(sim, 2)
+        connect(sim, switch, h1, port_a=1)
+        connect(sim, switch, h2, port_a=2)
+        bpdu = Ethernet(src="02:00:00:00:00:09", dst="01:80:c2:00:00:00",
+                        ethertype=ETH_TYPE_BPDU, size=64)
+        bpdu.payload = Bpdu(root_id=9, root_cost=0, bridge_id=9, port_id=1)
+        before = h2.port(1).rx_packets
+        switch.receive(bpdu, in_port=1)
+        sim.run(until=0.01)
+        # Consumed by the bridge, never re-flooded to other ports.
+        assert h2.port(1).rx_packets == before

@@ -1,0 +1,173 @@
+"""Unit tests for nodes, ports and capacity-limited links."""
+
+import pytest
+
+from repro.net import packet as pkt
+from repro.net.node import Node, connect
+from repro.net.packet import Ethernet
+
+
+class Sink(Node):
+    """Records every received frame with its arrival time."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, frame, in_port):
+        self.received.append((self.sim.now, frame, in_port))
+
+
+def frame_of_size(size: int) -> Ethernet:
+    return pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 2, size=size)
+
+
+class TestWiring:
+    def test_connect_allocates_ports(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = connect(sim, a, b)
+        assert a.port(1).link is link and b.port(1).link is link
+        assert a.port(1).peer() is b.port(1)
+
+    def test_connect_explicit_ports(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        connect(sim, a, b, port_a=5, port_b=7)
+        assert a.port(5).is_attached and b.port(7).is_attached
+
+    def test_double_wiring_rejected(self, sim):
+        a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+        connect(sim, a, b, port_a=1)
+        with pytest.raises(ValueError):
+            connect(sim, a, c, port_a=1)
+
+    def test_next_free_port_skips_attached(self, sim):
+        a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+        connect(sim, a, b)
+        connect(sim, a, c)
+        assert a.port(1).is_attached and a.port(2).is_attached
+
+    def test_send_on_unwired_port_returns_false(self, sim):
+        a = Sink(sim, "a")
+        assert a.send(frame_of_size(100), 3) is False
+
+
+class TestDelays:
+    def test_propagation_plus_serialization(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        connect(sim, a, b, bandwidth_bps=1e6, delay_s=0.010)
+        a.send(frame_of_size(1250), 1)  # 1250 B = 10 kbit -> 10 ms tx
+        sim.run()
+        arrival, _, _ = b.received[0]
+        assert arrival == pytest.approx(0.010 + 0.010)
+
+    def test_back_to_back_frames_serialize(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        connect(sim, a, b, bandwidth_bps=1e6, delay_s=0.0)
+        a.send(frame_of_size(1250), 1)
+        a.send(frame_of_size(1250), 1)
+        sim.run()
+        times = [t for t, _, _ in b.received]
+        assert times == [pytest.approx(0.010), pytest.approx(0.020)]
+
+    def test_directions_are_independent(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        connect(sim, a, b, bandwidth_bps=1e6, delay_s=0.0)
+        a.send(frame_of_size(1250), 1)
+        b.send(frame_of_size(1250), 1)
+        sim.run()
+        assert b.received[0][0] == pytest.approx(0.010)
+        assert a.received[0][0] == pytest.approx(0.010)
+
+    def test_throughput_matches_bandwidth(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        connect(sim, a, b, bandwidth_bps=100e6, delay_s=0.0,
+                queue_packets=10_000)
+        for _ in range(1000):
+            a.send(frame_of_size(1500), 1)
+        sim.run()
+        last_arrival = b.received[-1][0]
+        rate = 1000 * 1500 * 8 / last_arrival
+        assert rate == pytest.approx(100e6, rel=0.01)
+
+
+class TestQueueing:
+    def test_queue_overflow_drops(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = connect(sim, a, b, bandwidth_bps=1e6, delay_s=0.0,
+                       queue_packets=5)
+        for _ in range(10):
+            a.send(frame_of_size(1250), 1)
+        sim.run()
+        assert len(b.received) == 5
+        assert link.stats(a.port(1))["dropped"] == 5
+        assert a.port(1).tx_drops == 5
+
+    def test_queue_drains_over_time(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        connect(sim, a, b, bandwidth_bps=1e6, delay_s=0.0, queue_packets=2)
+        a.send(frame_of_size(1250), 1)
+        a.send(frame_of_size(1250), 1)
+        sim.run()
+        a.send(frame_of_size(1250), 1)
+        sim.run()
+        assert len(b.received) == 3
+
+
+class TestCountersAndFaults:
+    def test_port_counters(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        connect(sim, a, b)
+        a.send(frame_of_size(500), 1)
+        sim.run()
+        assert a.port(1).tx_packets == 1 and a.port(1).tx_bytes == 500
+        assert b.port(1).rx_packets == 1 and b.port(1).rx_bytes == 500
+
+    def test_link_down_drops_frames(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = connect(sim, a, b)
+        link.set_up(False)
+        assert link.transmit(a.port(1), frame_of_size(100)) is False
+        sim.run()
+        assert b.received == []
+
+    def test_link_down_mid_flight_loses_frame(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = connect(sim, a, b, delay_s=1.0)
+        a.send(frame_of_size(100), 1)
+        sim.schedule(0.5, link.set_up, False)
+        sim.run()
+        assert b.received == []
+
+    def test_utilization_tracks_busy_fraction(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = connect(sim, a, b, bandwidth_bps=1e6, delay_s=0.0,
+                       queue_packets=100)
+        for _ in range(4):  # 4 x 10ms of tx time
+            a.send(frame_of_size(1250), 1)
+        sim.run(until=0.1)
+        assert link.utilization(a.port(1), 0.0) == pytest.approx(0.4)
+
+    def test_flood_skips_in_port_and_clones(self, sim):
+        hub = Sink(sim, "hub")
+        leaves = [Sink(sim, f"l{i}") for i in range(3)]
+        for leaf in leaves:
+            connect(sim, hub, leaf)
+        original = frame_of_size(100)
+        sent = hub.flood(original, in_port=1)
+        sim.run()
+        assert sent == 2
+        assert leaves[0].received == []
+        received_ids = {
+            frame.packet_id
+            for leaf in leaves[1:]
+            for _, frame, _ in leaf.received
+        }
+        assert original.packet_id not in received_ids
+        assert len(received_ids) == 2
+
+    def test_bad_link_parameters_rejected(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        with pytest.raises(ValueError):
+            connect(sim, a, b, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            connect(sim, a, b, delay_s=-1.0)

@@ -1,0 +1,203 @@
+"""Unit tests for the dispatchers and load-balancer book-keeping."""
+
+import pytest
+
+from repro.core.loadbalance import (
+    DISPATCHERS,
+    ElementLoad,
+    HashDispatcher,
+    LeastConnectionsDispatcher,
+    LoadBalancer,
+    MinLoadDispatcher,
+    RoundRobinDispatcher,
+    load_deviation,
+    make_dispatcher,
+)
+from repro.core.policy import Granularity
+from repro.net.packet import FlowNineTuple
+
+
+def flow(tp_src=1000):
+    return FlowNineTuple(
+        vlan=None, dl_src="m1", dl_dst="m2", dl_type=0x0800,
+        nw_src="10.0.0.1", nw_dst="10.0.0.2", nw_proto=6,
+        tp_src=tp_src, tp_dst=80,
+    )
+
+
+def candidates(count=3, pps=0.0):
+    return [
+        ElementLoad(mac=f"e{index}", reported_pps=pps, reported_cpu=0.0,
+                    assigned_flows=0, pending=0)
+        for index in range(count)
+    ]
+
+
+class TestDispatcherFactory:
+    def test_all_paper_names_present(self):
+        assert set(DISPATCHERS) == {"polling", "hash", "queuing", "minload"}
+
+    def test_make_dispatcher(self):
+        assert isinstance(make_dispatcher("polling"), RoundRobinDispatcher)
+        assert isinstance(make_dispatcher("hash"), HashDispatcher)
+        assert isinstance(make_dispatcher("queuing"),
+                          LeastConnectionsDispatcher)
+        assert isinstance(make_dispatcher("minload"), MinLoadDispatcher)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_dispatcher("round-robin")
+
+
+class TestRoundRobin:
+    def test_strict_rotation(self):
+        dispatcher = RoundRobinDispatcher()
+        picks = [dispatcher.pick(candidates(), flow(i), None).mac
+                 for i in range(6)]
+        assert picks == ["e0", "e1", "e2", "e0", "e1", "e2"]
+
+
+class TestHash:
+    def test_deterministic_per_flow(self):
+        dispatcher = HashDispatcher()
+        first = dispatcher.pick(candidates(), flow(1), None)
+        second = dispatcher.pick(candidates(), flow(1), None)
+        assert first.mac == second.mac
+
+    def test_user_key_overrides_flow(self):
+        dispatcher = HashDispatcher()
+        a = dispatcher.pick(candidates(), flow(1), "alice")
+        b = dispatcher.pick(candidates(), flow(2), "alice")
+        assert a.mac == b.mac
+
+    def test_spreads_over_many_flows(self):
+        dispatcher = HashDispatcher()
+        picks = {dispatcher.pick(candidates(8), flow(i), None).mac
+                 for i in range(200)}
+        assert len(picks) == 8
+
+
+class TestLeastConnections:
+    def test_prefers_fewest_assigned(self):
+        pool = candidates()
+        pool[0].assigned_flows = 5
+        pool[1].assigned_flows = 1
+        pool[2].assigned_flows = 3
+        dispatcher = LeastConnectionsDispatcher()
+        assert dispatcher.pick(pool, flow(), None).mac == "e1"
+
+    def test_pending_counts_too(self):
+        pool = candidates()
+        pool[0].pending = 2
+        dispatcher = LeastConnectionsDispatcher()
+        assert dispatcher.pick(pool, flow(), None).mac == "e1"
+
+
+class TestMinLoad:
+    def test_prefers_lowest_reported_pps(self):
+        pool = candidates()
+        pool[0].reported_pps = 900
+        pool[1].reported_pps = 100
+        pool[2].reported_pps = 500
+        dispatcher = MinLoadDispatcher()
+        assert dispatcher.pick(pool, flow(), None).mac == "e1"
+
+    def test_pending_bias_avoids_stale_reports(self):
+        pool = candidates(2)
+        pool[0].reported_pps = 100
+        pool[0].pending = 10  # 10 x 200 pps bias -> effective 2100
+        pool[1].reported_pps = 300
+        dispatcher = MinLoadDispatcher(pending_bias_pps=200.0)
+        assert dispatcher.pick(pool, flow(), None).mac == "e1"
+
+
+class TestLoadBalancer:
+    def test_assign_and_release(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        mac = balancer.assign(candidates(), flow(1))
+        assert balancer.element_of(flow(1)) == mac
+        assert balancer.assigned_flow_counts()[mac] == 1
+        assert balancer.release(flow(1)) == (mac,)
+        assert balancer.assigned_flow_counts()[mac] == 0
+        assert balancer.element_of(flow(1)) is None
+
+    def test_release_unknown_flow_is_noop(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        assert balancer.release(flow(1)) == ()
+
+    def test_chained_flow_holds_multiple_assignments(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        first = balancer.assign(candidates(), flow(1))
+        second = balancer.assign(candidates(), flow(1))
+        assert balancer.elements_of(flow(1)) == (first, second)
+        assert sum(balancer.assigned_flow_counts().values()) == 2
+        released = balancer.release(flow(1))
+        assert sorted(released) == sorted((first, second))
+        assert sum(balancer.assigned_flow_counts().values()) == 0
+
+    def test_no_candidates_raises(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        with pytest.raises(ValueError):
+            balancer.assign([], flow(1))
+
+    def test_user_granularity_pins(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        first = balancer.assign(candidates(), flow(1), user="alice",
+                                granularity=Granularity.USER)
+        second = balancer.assign(candidates(), flow(2), user="alice",
+                                 granularity=Granularity.USER)
+        assert first == second
+
+    def test_user_pin_dropped_when_element_gone(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        first = balancer.assign(candidates(), flow(1), user="alice",
+                                granularity=Granularity.USER)
+        remaining = [c for c in candidates() if c.mac != first]
+        second = balancer.assign(remaining, flow(2), user="alice",
+                                 granularity=Granularity.USER)
+        assert second != first
+
+    def test_flow_granularity_ignores_user_pin(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        picks = {
+            balancer.assign(candidates(), flow(i), user="alice",
+                            granularity=Granularity.FLOW)
+            for i in range(3)
+        }
+        assert len(picks) == 3
+
+    def test_forget_element_orphans_flows(self):
+        balancer = LoadBalancer(RoundRobinDispatcher())
+        pool = candidates(1)
+        balancer.assign(pool, flow(1))
+        balancer.assign(pool, flow(2))
+        orphans = balancer.forget_element("e0")
+        assert orphans == 2
+        assert balancer.element_of(flow(1)) is None
+
+    def test_load_report_clears_pending(self):
+        balancer = LoadBalancer(MinLoadDispatcher())
+        pool = candidates(2)
+        balancer.assign(pool, flow(1))
+        mac = balancer.element_of(flow(1))
+        assert balancer._pending[mac] == 1
+        balancer.on_load_report(mac)
+        assert balancer._pending[mac] == 0
+
+
+class TestDeviationMetric:
+    def test_balanced_loads(self):
+        assert load_deviation([10.0, 10.0, 10.0]) == 0.0
+
+    def test_single_element_is_zero(self):
+        assert load_deviation([42.0]) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert load_deviation([0.0, 0.0]) == 0.0
+
+    def test_max_relative_deviation(self):
+        # mean 10, max deviation 5 -> 50%
+        assert load_deviation([5.0, 10.0, 15.0]) == pytest.approx(0.5)
+
+    def test_five_percent_bound_example(self):
+        assert load_deviation([100, 103, 98, 99]) <= 0.05

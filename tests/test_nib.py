@@ -1,0 +1,135 @@
+"""Unit tests for the Network Information Base."""
+
+import pytest
+
+from repro.core.nib import NetworkInformationBase
+
+
+@pytest.fixture
+def nib():
+    return NetworkInformationBase(host_timeout_s=10.0)
+
+
+class TestHosts:
+    def test_learn_new_host(self, nib):
+        record, is_new = nib.learn_host("m1", "10.0.0.1", dpid=1, port=2,
+                                        now=5.0)
+        assert is_new
+        assert record.first_seen == record.last_seen == 5.0
+        assert nib.host_by_mac("m1") is record
+        assert nib.host_by_ip("10.0.0.1") is record
+
+    def test_refresh_updates_last_seen_only(self, nib):
+        nib.learn_host("m1", "10.0.0.1", dpid=1, port=2, now=5.0)
+        record, is_new = nib.learn_host("m1", None, dpid=1, port=2, now=9.0)
+        assert not is_new
+        assert record.first_seen == 5.0 and record.last_seen == 9.0
+        assert record.ip == "10.0.0.1"  # ip preserved on refresh
+
+    def test_move_is_reported_as_new(self, nib):
+        nib.learn_host("m1", "10.0.0.1", dpid=1, port=2, now=5.0)
+        record, is_new = nib.learn_host("m1", None, dpid=3, port=7, now=6.0)
+        assert is_new  # VM migration: location changed
+        assert record.dpid == 3 and record.port == 7
+        assert record.first_seen == 5.0  # identity preserved
+
+    def test_ip_update_on_refresh(self, nib):
+        nib.learn_host("m1", None, dpid=1, port=2, now=1.0)
+        record, _ = nib.learn_host("m1", "10.0.0.9", dpid=1, port=2, now=2.0)
+        assert record.ip == "10.0.0.9"
+        assert nib.host_by_ip("10.0.0.9") is record
+
+    def test_element_flag_is_sticky(self, nib):
+        nib.learn_host("m1", None, dpid=1, port=2, now=1.0, is_element=True)
+        record, _ = nib.learn_host("m1", None, dpid=1, port=2, now=2.0)
+        assert record.is_element
+
+    def test_expiry_removes_stale_hosts(self, nib):
+        nib.learn_host("old", None, dpid=1, port=1, now=0.0)
+        nib.learn_host("new", None, dpid=1, port=2, now=8.0)
+        expired = nib.expire_hosts(now=11.0)
+        assert [r.mac for r in expired] == ["old"]
+        assert nib.host_by_mac("old") is None
+        assert nib.host_by_mac("new") is not None
+
+    def test_remove_host_clears_ip_index(self, nib):
+        nib.learn_host("m1", "10.0.0.1", dpid=1, port=2, now=1.0)
+        nib.remove_host("m1")
+        assert nib.host_by_ip("10.0.0.1") is None
+
+    def test_user_and_element_views(self, nib):
+        nib.learn_host("u1", None, dpid=1, port=1, now=0.0)
+        nib.learn_host("e1", None, dpid=1, port=2, now=0.0, is_element=True)
+        assert [r.mac for r in nib.user_hosts()] == ["u1"]
+        assert [r.mac for r in nib.element_hosts()] == ["e1"]
+
+
+class TestLinks:
+    def test_learn_and_query(self, nib):
+        nib.learn_link(1, 5, 2, 6, now=0.0)
+        link = nib.link(1, 2)
+        assert link.src_port == 5 and link.dst_port == 6
+        assert nib.link(2, 1) is None  # unidirectional
+
+    def test_uplink_port_set_accumulates(self, nib):
+        nib.learn_link(1, 1, 2, 1, now=0.0)
+        nib.learn_link(1, 2, 2, 2, now=0.0)  # second (redundant) uplink
+        assert nib.uplink_ports(1) == frozenset({1, 2})
+        assert nib.uplink_port(1) == 1  # deterministic primary
+
+    def test_canonical_mapping_is_lowest_pair(self, nib):
+        nib.learn_link(1, 2, 2, 2, now=0.0)
+        nib.learn_link(1, 1, 2, 1, now=1.0)
+        nib.learn_link(1, 2, 2, 2, now=2.0)  # re-seen: must not usurp
+        link = nib.link(1, 2)
+        assert (link.src_port, link.dst_port) == (1, 1)
+
+    def test_rebuild_links_drops_stale_uplinks(self, nib):
+        nib.learn_link(1, 1, 2, 1, now=0.0)
+        nib.learn_link(1, 2, 2, 2, now=0.0)
+
+        class FakeLink:
+            def __init__(self, sd, sp, dd, dp):
+                self.src_dpid, self.src_port = sd, sp
+                self.dst_dpid, self.dst_port = dd, dp
+
+        nib.rebuild_links([FakeLink(1, 2, 2, 2)], now=5.0)
+        assert nib.uplink_ports(1) == frozenset({2})
+        assert nib.uplink_port(1) == 2
+
+    def test_uplink_unknown_before_discovery(self, nib):
+        assert nib.uplink_port(9) is None
+        assert nib.uplink_ports(9) == frozenset()
+
+
+class TestSwitchesAndMesh:
+    def test_full_mesh_detection(self, nib):
+        nib.add_switch(1, "a", (1,), now=0.0)
+        nib.add_switch(2, "b", (1,), now=0.0)
+        assert not nib.is_full_mesh()
+        nib.learn_link(1, 1, 2, 1, now=0.0)
+        assert not nib.is_full_mesh()
+        nib.learn_link(2, 1, 1, 1, now=0.0)
+        assert nib.is_full_mesh()
+
+    def test_single_switch_is_trivially_full_mesh(self, nib):
+        nib.add_switch(1, "a", (1,), now=0.0)
+        assert nib.is_full_mesh()
+
+    def test_remove_switch_cascades(self, nib):
+        nib.add_switch(1, "a", (1,), now=0.0)
+        nib.add_switch(2, "b", (1,), now=0.0)
+        nib.learn_link(1, 1, 2, 1, now=0.0)
+        nib.learn_host("m1", None, dpid=1, port=2, now=0.0)
+        nib.remove_switch(1)
+        assert nib.link(1, 2) is None
+        assert nib.host_by_mac("m1") is None
+        assert 1 not in nib.switches
+
+    def test_summary(self, nib):
+        nib.add_switch(1, "a", (1,), now=0.0)
+        nib.learn_host("m1", None, dpid=1, port=1, now=0.0, is_element=True)
+        summary = nib.summary()
+        assert summary["switches"] == 1
+        assert summary["hosts"] == 1
+        assert summary["elements"] == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the NOX-like base: LLDP discovery and lifecycle."""
+
+import pytest
+
+from repro.net.legacy import LegacySwitch
+from repro.net.node import connect
+from repro.openflow.channel import SecureChannel
+from repro.openflow.controller_base import ControllerBase, DiscoveredLink
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class Recorder(ControllerBase):
+    def __init__(self, sim, lldp_enabled=True):
+        super().__init__(sim, lldp_enabled=lldp_enabled)
+        self.discovered = []
+        self.timed_out = []
+
+    def on_link_discovered(self, link):
+        self.discovered.append(link)
+
+    def on_link_timeout(self, link):
+        self.timed_out.append(link)
+
+
+@pytest.fixture
+def fabric(sim):
+    """Two OvS through one legacy core, controller attached."""
+    core = LegacySwitch(sim, "core", bridge_id=1)
+    s1 = OpenFlowSwitch(sim, "s1", dpid=1)
+    s2 = OpenFlowSwitch(sim, "s2", dpid=2)
+    connect(sim, s1, core)
+    connect(sim, s2, core)
+    ctrl = Recorder(sim)
+    ch1 = SecureChannel(sim, s1, ctrl)
+    ch2 = SecureChannel(sim, s2, ctrl)
+    ch1.connect()
+    ch2.connect()
+    return ctrl, (s1, s2), (ch1, ch2)
+
+
+class TestDiscovery:
+    def test_links_discovered_both_directions(self, sim, fabric):
+        ctrl, switches, channels = fabric
+        sim.run(until=2.0)
+        pairs = {(l.src_dpid, l.dst_dpid) for l in ctrl.known_links()}
+        assert pairs == {(1, 2), (2, 1)}
+
+    def test_link_between_returns_ports(self, sim, fabric):
+        ctrl, switches, channels = fabric
+        sim.run(until=2.0)
+        link = ctrl.link_between(1, 2)
+        assert link is not None
+        assert link.src_port == 1 and link.dst_port == 1
+        assert ctrl.link_between(1, 9) is None
+
+    def test_links_expire_when_switch_leaves(self, sim, fabric):
+        ctrl, switches, channels = fabric
+        sim.run(until=2.0)
+        channels[1].disconnect()
+        sim.run(until=3.0)
+        assert ctrl.known_links() == []
+        assert 2 not in ctrl.switches
+
+    def test_link_timeout_on_fabric_failure(self, sim, fabric):
+        ctrl, switches, channels = fabric
+        sim.run(until=2.0)
+        assert len(ctrl.known_links()) == 2
+        # Cut both uplinks: LLDP stops flowing.
+        for switch in switches:
+            switch.port(1).link.set_up(False)
+        sim.run(until=8.0)
+        assert ctrl.known_links() == []
+        assert len(ctrl.timed_out) == 2
+
+    def test_own_reflection_ignored(self, sim):
+        """An LLDP looped straight back must not create a self-link."""
+        ctrl = Recorder(sim)
+        switch = OpenFlowSwitch(sim, "s", dpid=1)
+        # A hairpin: two ports of the same switch wired together.
+        connect(sim, switch, switch, port_a=1, port_b=2)
+        SecureChannel(sim, switch, ctrl).connect()
+        sim.run(until=2.0)
+        assert all(l.src_dpid != l.dst_dpid for l in ctrl.known_links())
+
+    def test_lldp_disabled_mode(self, sim):
+        ctrl = Recorder(sim, lldp_enabled=False)
+        s1 = OpenFlowSwitch(sim, "s1", dpid=1)
+        s2 = OpenFlowSwitch(sim, "s2", dpid=2)
+        connect(sim, s1, s2)
+        SecureChannel(sim, s1, ctrl).connect()
+        SecureChannel(sim, s2, ctrl).connect()
+        sim.run(until=3.0)
+        assert ctrl.known_links() == []
+
+
+class TestDualHoming:
+    def test_all_port_pairs_discovered(self, sim):
+        """Dual-homed switches expose several port pairs per switch
+        pair; discovery must record every one (the uplink set)."""
+        ctrl = Recorder(sim)
+        core_a = LegacySwitch(sim, "core-a", bridge_id=1)
+        core_b = LegacySwitch(sim, "core-b", bridge_id=2)
+        connect(sim, core_a, core_b)
+        s1 = OpenFlowSwitch(sim, "s1", dpid=1)
+        s2 = OpenFlowSwitch(sim, "s2", dpid=2)
+        for switch in (s1, s2):
+            connect(sim, switch, core_a)
+            connect(sim, switch, core_b)
+        SecureChannel(sim, s1, ctrl).connect()
+        SecureChannel(sim, s2, ctrl).connect()
+        sim.run(until=3.0)
+        pairs_1_to_2 = {
+            (l.src_port, l.dst_port)
+            for l in ctrl.known_links()
+            if l.src_dpid == 1 and l.dst_dpid == 2
+        }
+        # Port 1 and port 2 of s1 both reach s2 (via either core).
+        assert {p for p, _ in pairs_1_to_2} == {1, 2}
+        # link_between returns the deterministic lowest pair.
+        best = ctrl.link_between(1, 2)
+        assert (best.src_port, best.dst_port) == min(pairs_1_to_2)

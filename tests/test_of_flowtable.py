@@ -1,0 +1,154 @@
+"""Unit tests for flow tables: priorities, timeouts, OF semantics."""
+
+import pytest
+
+from repro.net import packet as pkt
+from repro.openflow.actions import Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+
+
+def frame():
+    return pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1000, 80)
+
+
+def entry(match=None, priority=100, actions=(Output(1),), **kwargs):
+    return FlowEntry(match=match or Match(), priority=priority,
+                     actions=tuple(actions), **kwargs)
+
+
+class TestLookup:
+    def test_miss_on_empty_table(self):
+        table = FlowTable()
+        assert table.lookup(frame(), 1, now=0.0) is None
+        assert table.lookups == 1 and table.matched == 0
+
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        table.add(entry(priority=10, actions=(Output(1),)), now=0.0)
+        table.add(entry(priority=200, actions=(Output(2),)), now=0.0)
+        table.add(entry(priority=50, actions=(Output(3),)), now=0.0)
+        hit = table.lookup(frame(), 1, now=1.0)
+        assert hit.actions == (Output(2),)
+
+    def test_specific_beats_general_only_by_priority(self):
+        table = FlowTable()
+        specific = Match(tp_dst=80)
+        table.add(entry(match=specific, priority=200, actions=(Output(9),)),
+                  now=0.0)
+        table.add(entry(priority=100, actions=(Output(1),)), now=0.0)
+        assert table.lookup(frame(), 1, now=0.0).actions == (Output(9),)
+        other = pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 443)
+        assert table.lookup(other, 1, now=0.0).actions == (Output(1),)
+
+    def test_counters_updated_on_hit(self):
+        table = FlowTable()
+        table.add(entry(), now=0.0)
+        hit = table.lookup(frame(), 1, now=2.5)
+        assert hit.packets == 1
+        assert hit.bytes == frame().size
+        assert hit.last_used_at == 2.5
+
+    def test_non_matching_entry_skipped(self):
+        table = FlowTable()
+        table.add(entry(match=Match(tp_dst=443)), now=0.0)
+        assert table.lookup(frame(), 1, now=0.0) is None
+
+
+class TestAddSemantics:
+    def test_identical_match_priority_replaces(self):
+        table = FlowTable()
+        table.add(entry(actions=(Output(1),)), now=0.0)
+        table.add(entry(actions=(Output(2),)), now=1.0)
+        assert len(table) == 1
+        assert table.lookup(frame(), 1, now=1.0).actions == (Output(2),)
+
+    def test_same_match_different_priority_coexist(self):
+        table = FlowTable()
+        table.add(entry(priority=100), now=0.0)
+        table.add(entry(priority=200), now=0.0)
+        assert len(table) == 2
+
+
+class TestTimeouts:
+    def test_idle_timeout_expiry(self):
+        table = FlowTable()
+        table.add(entry(idle_timeout=2.0), now=0.0)
+        assert table.lookup(frame(), 1, now=1.0) is not None
+        # Unused since t=1: expired at t=3.5.
+        assert table.lookup(frame(), 1, now=3.5) is None
+
+    def test_idle_timeout_refreshed_by_traffic(self):
+        table = FlowTable()
+        table.add(entry(idle_timeout=2.0), now=0.0)
+        for t in (1.0, 2.5, 4.0):
+            assert table.lookup(frame(), 1, now=t) is not None
+
+    def test_hard_timeout_not_refreshed(self):
+        table = FlowTable()
+        table.add(entry(hard_timeout=3.0), now=0.0)
+        assert table.lookup(frame(), 1, now=2.9) is not None
+        assert table.lookup(frame(), 1, now=3.1) is None
+
+    def test_zero_timeouts_never_expire(self):
+        table = FlowTable()
+        table.add(entry(), now=0.0)
+        assert table.lookup(frame(), 1, now=1e9) is not None
+
+    def test_expire_returns_reason(self):
+        table = FlowTable()
+        table.add(entry(idle_timeout=1.0), now=0.0)
+        table.add(entry(match=Match(tp_dst=80), hard_timeout=2.0), now=0.0)
+        removed = table.expire(now=5.0)
+        reasons = sorted(r.reason for r in removed)
+        assert reasons == ["hard", "idle"]
+        assert len(table) == 0
+
+
+class TestDelete:
+    def test_strict_delete_requires_exact_match(self):
+        table = FlowTable()
+        table.add(entry(match=Match(tp_dst=80)), now=0.0)
+        assert table.delete(Match(), strict=True) == []
+        removed = table.delete(Match(tp_dst=80), strict=True, priority=100)
+        assert len(removed) == 1 and len(table) == 0
+
+    def test_strict_delete_wrong_priority_keeps_entry(self):
+        table = FlowTable()
+        table.add(entry(match=Match(tp_dst=80), priority=100), now=0.0)
+        assert table.delete(Match(tp_dst=80), strict=True, priority=50) == []
+        assert len(table) == 1
+
+    def test_nonstrict_delete_covers_subsets(self):
+        table = FlowTable()
+        table.add(entry(match=Match(tp_dst=80)), now=0.0)
+        table.add(entry(match=Match(tp_dst=80, nw_proto=6), priority=50),
+                  now=0.0)
+        table.add(entry(match=Match(tp_dst=443), priority=60), now=0.0)
+        removed = table.delete(Match(tp_dst=80))
+        assert len(removed) == 2
+        assert len(table) == 1
+
+    def test_nonstrict_delete_all_with_any(self):
+        table = FlowTable()
+        for port in (80, 443):
+            table.add(entry(match=Match(tp_dst=port)), now=0.0)
+        assert len(table.delete(Match())) == 2
+
+
+class TestModify:
+    def test_modify_updates_actions_preserves_counters(self):
+        table = FlowTable()
+        table.add(entry(actions=(Output(1),)), now=0.0)
+        table.lookup(frame(), 1, now=1.0)
+        count = table.modify(Match(), (Output(5),), now=2.0)
+        assert count == 1
+        hit = table.lookup(frame(), 1, now=3.0)
+        assert hit.actions == (Output(5),)
+        assert hit.packets == 2  # counter survived the modify
+
+    def test_modify_to_drop(self):
+        table = FlowTable()
+        table.add(entry(), now=0.0)
+        table.modify(Match(), (), now=1.0)
+        assert table.lookup(frame(), 1, now=2.0).is_drop

@@ -1,0 +1,142 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net import packet as pkt
+from repro.net.packet import (
+    Arp,
+    Ethernet,
+    FlowNineTuple,
+    IPv4,
+    Tcp,
+    Udp,
+    extract_nine_tuple,
+    ip_address,
+    mac_address,
+)
+
+
+class TestAddresses:
+    def test_mac_address_formatting(self):
+        assert mac_address(1) == "00:00:00:00:00:01"
+        assert mac_address(0xAB) == "00:00:00:00:00:ab"
+        assert mac_address(256) == "00:00:00:00:01:00"
+
+    def test_mac_address_range_check(self):
+        with pytest.raises(ValueError):
+            mac_address(2 ** 48)
+        with pytest.raises(ValueError):
+            mac_address(-1)
+
+    def test_ip_address_carry(self):
+        assert ip_address(1) == "10.0.0.1"
+        assert ip_address(256) == "10.0.1.0"
+        assert ip_address(300) == "10.0.1.44"
+
+    def test_ip_address_custom_base(self):
+        assert ip_address(5, base="192.168.1.0") == "192.168.1.5"
+
+
+class TestBuilders:
+    def test_make_udp_default_size_includes_headers(self):
+        frame = pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 10, 20,
+                             payload=b"hello")
+        assert frame.size == 18 + 20 + 8 + 5
+        assert isinstance(frame.transport(), Udp)
+        assert frame.app_payload() == b"hello"
+
+    def test_make_tcp_flags(self):
+        frame = pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 10, 80,
+                             flags="S")
+        segment = frame.transport()
+        assert isinstance(segment, Tcp) and segment.flags == "S"
+
+    def test_explicit_size_overrides(self):
+        frame = pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 2,
+                             payload=b"x", size=1500)
+        assert frame.size == 1500
+
+    def test_arp_request_is_broadcast(self):
+        frame = pkt.make_arp_request("m1", "10.0.0.1", "10.0.0.2")
+        assert frame.is_broadcast
+        assert frame.ethertype == pkt.ETH_TYPE_ARP
+        assert isinstance(frame.payload, Arp) and frame.payload.is_request
+
+    def test_arp_reply_is_unicast(self):
+        frame = pkt.make_arp_reply("m1", "10.0.0.1", "m2", "10.0.0.2")
+        assert not frame.is_broadcast
+        assert not frame.payload.is_request
+
+    def test_icmp_echo_builder(self):
+        frame = pkt.make_icmp_echo("m1", "m2", "1.1.1.1", "2.2.2.2", ident=7)
+        assert frame.ip().proto == pkt.IP_PROTO_ICMP
+        assert frame.ip().payload.ident == 7
+
+    def test_lldp_builder(self):
+        frame = pkt.make_lldp(chassis_id=3, port_id=2)
+        assert frame.ethertype == pkt.ETH_TYPE_LLDP
+        assert frame.payload.chassis_id == 3
+        assert frame.payload.port_id == 2
+
+
+class TestFrameHelpers:
+    def test_packet_ids_unique(self):
+        a = pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 2)
+        b = pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 2)
+        assert a.packet_id != b.packet_id
+
+    def test_clone_is_deep_and_fresh_id(self):
+        frame = pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 2,
+                             payload=b"data")
+        copy = frame.clone()
+        assert copy.packet_id != frame.packet_id
+        copy.dst = "rewritten"
+        copy.ip().dst = "9.9.9.9"
+        assert frame.dst == "m2"
+        assert frame.ip().dst == "2.2.2.2"
+
+    def test_ip_returns_none_for_arp(self):
+        frame = pkt.make_arp_request("m1", "1.1.1.1", "2.2.2.2")
+        assert frame.ip() is None
+        assert frame.transport() is None
+        assert frame.app_payload() == b""
+
+
+class TestNineTuple:
+    def test_extract_from_tcp(self):
+        frame = pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1000, 80)
+        nine = extract_nine_tuple(frame)
+        assert nine == FlowNineTuple(
+            vlan=None, dl_src="m1", dl_dst="m2", dl_type=pkt.ETH_TYPE_IP,
+            nw_src="1.1.1.1", nw_dst="2.2.2.2", nw_proto=pkt.IP_PROTO_TCP,
+            tp_src=1000, tp_dst=80,
+        )
+
+    def test_extract_from_non_ip_wildcards_network_fields(self):
+        frame = pkt.make_arp_request("m1", "1.1.1.1", "2.2.2.2")
+        nine = extract_nine_tuple(frame)
+        assert nine.nw_src is None and nine.tp_src is None
+        assert nine.dl_type == pkt.ETH_TYPE_ARP
+
+    def test_icmp_has_proto_but_no_ports(self):
+        frame = pkt.make_icmp_echo("m1", "m2", "1.1.1.1", "2.2.2.2")
+        nine = extract_nine_tuple(frame)
+        assert nine.nw_proto == pkt.IP_PROTO_ICMP
+        assert nine.tp_src is None and nine.tp_dst is None
+
+    def test_reversed_swaps_both_layers(self):
+        frame = pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1000, 80)
+        nine = extract_nine_tuple(frame)
+        rev = nine.reversed()
+        assert rev.dl_src == "m2" and rev.dl_dst == "m1"
+        assert rev.nw_src == "2.2.2.2" and rev.nw_dst == "1.1.1.1"
+        assert rev.tp_src == 80 and rev.tp_dst == 1000
+
+    def test_reversed_is_involution(self):
+        frame = pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 5, 6)
+        nine = extract_nine_tuple(frame)
+        assert nine.reversed().reversed() == nine
+
+    def test_vlan_preserved(self):
+        frame = pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 5, 6, vlan=42)
+        assert extract_nine_tuple(frame).vlan == 42

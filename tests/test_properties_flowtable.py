@@ -1,0 +1,181 @@
+"""Property-based tests for the flow table and link layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import packet as pkt
+from repro.net.node import Node, connect
+from repro.net.simulator import Simulator
+from repro.openflow.actions import Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+
+
+def frame(tp_dst=80):
+    return pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1000, tp_dst)
+
+
+entry_specs = st.lists(
+    st.tuples(
+        st.integers(0, 1000),  # priority
+        st.one_of(st.none(), st.integers(0, 3)),  # tp_dst selector bucket
+        st.integers(1, 8),  # output port
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestFlowTableProperties:
+    @given(entry_specs)
+    @settings(max_examples=60)
+    def test_lookup_returns_max_priority_matching_entry(self, specs):
+        table = FlowTable()
+        for priority, bucket, port in specs:
+            match = Match() if bucket is None else Match(tp_dst=80 + bucket)
+            table.add(
+                FlowEntry(match=match, priority=priority,
+                          actions=(Output(port),)),
+                now=0.0,
+            )
+        probe = frame(tp_dst=80)
+        hit = table.lookup(probe, 1, now=1.0)
+        matching = [
+            (priority, port)
+            for priority, bucket, port in specs
+            if bucket is None or bucket == 0
+        ]
+        if not matching:
+            assert hit is None
+        else:
+            # Later adds replace identical (match, priority) rows, so
+            # the hit's priority is the max; its port must belong to
+            # some entry at that priority.
+            best = max(p for p, __ in matching)
+            assert hit is not None
+            assert hit.priority == best
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_delete_all_empties_table(self, buckets):
+        table = FlowTable()
+        for index, bucket in enumerate(buckets):
+            table.add(
+                FlowEntry(match=Match(tp_dst=80 + bucket), priority=index,
+                          actions=(Output(1),)),
+                now=0.0,
+            )
+        removed = table.delete(Match())
+        assert len(table) == 0
+        # Identical (match, priority) pairs were replaced on add, so
+        # removed counts unique pairs.
+        assert len(removed) == len({(80 + b, i)
+                                    for i, b in enumerate(buckets)})
+
+    @given(
+        st.floats(0.1, 10.0),  # idle timeout
+        st.lists(st.floats(0.0, 30.0), min_size=1, max_size=10),  # hits
+    )
+    @settings(max_examples=40)
+    def test_entry_alive_iff_recently_used(self, idle, hit_times):
+        table = FlowTable()
+        table.add(FlowEntry(match=Match(), idle_timeout=idle,
+                            actions=(Output(1),)), now=0.0)
+        last_use = 0.0
+        alive = True
+        for t in sorted(hit_times):
+            expected_alive = alive and (t - last_use) < idle
+            hit = table.lookup(frame(), 1, now=t)
+            assert (hit is not None) == expected_alive
+            if expected_alive:
+                last_use = t
+            else:
+                alive = False  # expired entries never come back
+
+
+class TestLinkProperties:
+    class Sink(Node):
+        def __init__(self, sim, name):
+            super().__init__(sim, name)
+            self.arrivals = []
+
+        def receive(self, f, in_port):
+            self.arrivals.append(self.sim.now)
+
+    @given(
+        st.lists(st.integers(64, 9000), min_size=1, max_size=30),
+        st.floats(1e5, 1e9),
+        st.floats(0.0, 0.01),
+    )
+    @settings(max_examples=40)
+    def test_fifo_order_and_capacity_bound(self, sizes, bandwidth, delay):
+        sim = Simulator()
+        a = self.Sink(sim, "a")
+        b = self.Sink(sim, "b")
+        connect(sim, a, b, bandwidth_bps=bandwidth, delay_s=delay,
+                queue_packets=1000)
+        for size in sizes:
+            a.send(pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 2,
+                                size=size), 1)
+        sim.run()
+        assert len(b.arrivals) == len(sizes)
+        # FIFO: arrivals are non-decreasing in time.
+        assert b.arrivals == sorted(b.arrivals)
+        # Last arrival >= total serialization + propagation.
+        total_tx = sum(size * 8 / bandwidth for size in sizes)
+        assert b.arrivals[-1] >= total_tx + delay - 1e-9
+
+
+class TestTcpProperties:
+    """Property tests for the reliable transport."""
+
+    from hypothesis import strategies as _st
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=5000), min_size=1,
+                 max_size=12),
+        st.floats(1e6, 1e9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_writes_reassemble_exactly(self, chunks, bandwidth):
+        from repro.net.host import Host
+        from repro.net.tcp import TcpConnection, TcpListener
+
+        sim = Simulator()
+        client = Host(sim, "c", "00:00:00:00:00:01", "10.0.0.1")
+        server = Host(sim, "s", "00:00:00:00:00:02", "10.0.0.2")
+        connect(sim, client, server, bandwidth_bps=bandwidth, delay_s=1e-4,
+                queue_packets=10_000)
+        received = []
+        TcpListener(server, 80,
+                    on_receive=lambda conn, data: received.append(data))
+
+        def on_established(conn):
+            for chunk in chunks:
+                conn.send(chunk)
+            conn.close()
+
+        TcpConnection.connect(client, server.ip, 80,
+                              on_established=on_established)
+        sim.run(until=120.0)
+        assert b"".join(received) == b"".join(chunks)
+
+    @given(st.integers(1, 40), st.integers(2, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_lossy_queue_still_exact(self, segments, queue_packets):
+        from repro.net.host import Host
+        from repro.net.tcp import MSS, TcpConnection, TcpListener
+
+        sim = Simulator()
+        client = Host(sim, "c", "00:00:00:00:00:01", "10.0.0.1")
+        server = Host(sim, "s", "00:00:00:00:00:02", "10.0.0.2")
+        connect(sim, client, server, bandwidth_bps=5e6, delay_s=1e-3,
+                queue_packets=queue_packets)
+        received = []
+        TcpListener(server, 80,
+                    on_receive=lambda conn, data: received.append(data))
+        blob = bytes(range(256)) * (segments * MSS // 256)
+        TcpConnection.connect(client, server.ip, 80,
+                              on_established=lambda c: c.send(blob))
+        sim.run(until=300.0)
+        assert b"".join(received) == blob

@@ -1,0 +1,119 @@
+"""Unit tests for the service registry and certification."""
+
+import pytest
+
+from repro.core import messages as svcmsg
+from repro.core.services import CertificateError, ServiceRegistry
+
+
+@pytest.fixture
+def registry():
+    return ServiceRegistry(secret="test-secret", liveness_timeout_s=2.0)
+
+
+def online(registry, mac="e1", service_type="ids", cpu=0.1, pps=100.0,
+           certificate=None, flows=0):
+    return svcmsg.OnlineMessage(
+        element_mac=mac,
+        certificate=(certificate if certificate is not None
+                     else registry.issue_certificate(mac)),
+        service_type=service_type,
+        cpu=cpu,
+        memory=0.0,
+        pps=pps,
+        active_flows=flows,
+    )
+
+
+class TestOnlineIntake:
+    def test_first_message_registers(self, registry):
+        record = registry.handle_online(online(registry), now=1.0)
+        assert record.mac == "e1"
+        assert record.service_type == "ids"
+        assert record.online and record.reports == 1
+        assert registry.is_element("e1")
+
+    def test_load_fields_updated(self, registry):
+        registry.handle_online(online(registry, cpu=0.1, pps=10), now=1.0)
+        record = registry.handle_online(
+            online(registry, cpu=0.9, pps=900, flows=4), now=2.0)
+        assert record.cpu == 0.9 and record.pps == 900
+        assert record.active_flows == 4
+        assert record.reports == 2
+
+    def test_bad_certificate_rejected(self, registry):
+        with pytest.raises(CertificateError):
+            registry.handle_online(
+                online(registry, certificate="forged"), now=1.0)
+        assert not registry.is_element("e1")
+        assert registry.rejected_macs["e1"] == "bad-certificate"
+
+    def test_event_verification(self, registry):
+        message = svcmsg.EventReportMessage(
+            element_mac="e1",
+            certificate=registry.issue_certificate("e1"),
+            kind="attack", flow=None,
+        )
+        registry.verify_event(message)  # no raise
+        message.certificate = "nope"
+        with pytest.raises(CertificateError):
+            registry.verify_event(message)
+
+
+class TestLiveness:
+    def test_silent_element_expires(self, registry):
+        registry.handle_online(online(registry), now=0.0)
+        expired = registry.expire(now=3.0)
+        assert [r.mac for r in expired] == ["e1"]
+        assert not registry.get("e1").online
+        assert registry.online_elements() == []
+
+    def test_expire_is_idempotent(self, registry):
+        registry.handle_online(online(registry), now=0.0)
+        registry.expire(now=3.0)
+        assert registry.expire(now=4.0) == []
+
+    def test_fresh_message_revives(self, registry):
+        registry.handle_online(online(registry), now=0.0)
+        registry.expire(now=3.0)
+        record = registry.handle_online(online(registry), now=4.0)
+        assert record.online
+        assert registry.online_elements("ids")
+
+
+class TestQueries:
+    def test_candidates_by_type(self, registry):
+        registry.handle_online(online(registry, mac="e1", service_type="ids"),
+                               now=0.0)
+        registry.handle_online(online(registry, mac="e2", service_type="l7"),
+                               now=0.0)
+        ids_loads = registry.candidates("ids")
+        assert [c.mac for c in ids_loads] == ["e1"]
+        assert registry.candidates("firewall") == []
+
+    def test_candidates_carry_load(self, registry):
+        registry.handle_online(
+            online(registry, pps=777.0, cpu=0.5, flows=3), now=0.0)
+        load = registry.candidates("ids")[0]
+        assert load.reported_pps == 777.0
+        assert load.reported_cpu == 0.5
+        assert load.assigned_flows == 3
+
+    def test_summary(self, registry):
+        registry.handle_online(online(registry, mac="e1"), now=0.0)
+        registry.handle_online(online(registry, mac="e2", service_type="l7"),
+                               now=0.0)
+        with pytest.raises(CertificateError):
+            registry.handle_online(
+                online(registry, mac="rogue", certificate="bad"), now=0.0)
+        summary = registry.summary()
+        assert summary["total"] == 2
+        assert summary["online"] == 2
+        assert summary["by_type"] == {"ids": 1, "l7": 1}
+        assert summary["rejected"] == 1
+
+    def test_service_types_sorted(self, registry):
+        for mac, kind in (("a", "l7"), ("b", "ids"), ("c", "virus")):
+            registry.handle_online(
+                online(registry, mac=mac, service_type=kind), now=0.0)
+        assert registry.service_types() == ["ids", "l7", "virus"]

@@ -1,0 +1,92 @@
+"""Unit tests for bidirectional session tracking."""
+
+import pytest
+
+from repro.core.sessions import SessionTable
+from repro.net.packet import FlowNineTuple
+
+
+def flow(tp_src=1000):
+    return FlowNineTuple(
+        vlan=None, dl_src="mA", dl_dst="mB", dl_type=0x0800,
+        nw_src="10.0.0.1", nw_dst="10.0.0.2", nw_proto=6,
+        tp_src=tp_src, tp_dst=80,
+    )
+
+
+def make_session(table, tp_src=1000, elements=()):
+    return table.create(
+        flow=flow(tp_src),
+        src_mac="mA",
+        dst_mac="mB",
+        policy_name="p",
+        element_macs=tuple(elements),
+        rules=[],
+        now=1.0,
+    )
+
+
+class TestLifecycle:
+    def test_create_and_lookup_both_directions(self):
+        table = SessionTable()
+        session = make_session(table)
+        assert table.lookup(flow()) is session
+        assert table.lookup(flow().reversed()) is session
+        assert table.by_id(session.session_id) is session
+        assert len(table) == 1
+        assert table.created == 1
+
+    def test_end_removes_both_directions(self):
+        table = SessionTable()
+        session = make_session(table)
+        table.end(session)
+        assert table.lookup(flow()) is None
+        assert table.lookup(flow().reversed()) is None
+        assert table.by_id(session.session_id) is None
+        assert table.ended == 1
+
+    def test_end_is_idempotent(self):
+        table = SessionTable()
+        session = make_session(table)
+        table.end(session)
+        table.end(session)
+        assert table.ended == 1
+
+    def test_ids_are_unique_and_monotonic(self):
+        table = SessionTable()
+        ids = [make_session(table, tp_src=1000 + i).session_id
+               for i in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_explicit_session_id(self):
+        table = SessionTable()
+        session = table.create(flow(), "mA", "mB", None, (), [], now=0.0,
+                               session_id=42)
+        assert table.by_id(42) is session
+
+
+class TestQueries:
+    def test_sessions_via_element(self):
+        table = SessionTable()
+        with_element = make_session(table, tp_src=1, elements=("e1",))
+        make_session(table, tp_src=2)
+        assert table.sessions_via_element("e1") == [with_element]
+        assert table.sessions_via_element("e2") == []
+
+    def test_sessions_of_user_matches_either_end(self):
+        table = SessionTable()
+        session = make_session(table)
+        assert table.sessions_of_user("mA") == [session]
+        assert table.sessions_of_user("mB") == [session]
+        assert table.sessions_of_user("mZ") == []
+
+    def test_is_steered(self):
+        table = SessionTable()
+        assert make_session(table, tp_src=1, elements=("e1",)).is_steered
+        assert not make_session(table, tp_src=2).is_steered
+
+    def test_iteration(self):
+        table = SessionTable()
+        created = {make_session(table, tp_src=1000 + i).session_id
+                   for i in range(3)}
+        assert {s.session_id for s in table} == created

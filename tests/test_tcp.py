@@ -1,0 +1,198 @@
+"""Tests for the reliable transport."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.node import connect
+from repro.net.tcp import MSS, TcpConnection, TcpListener
+
+
+@pytest.fixture
+def wire(sim):
+    """Client and server hosts, directly wired, with an echo-less
+    listener collecting received bytes."""
+    client = Host(sim, "client", "00:00:00:00:00:01", "10.0.0.1")
+    server = Host(sim, "server", "00:00:00:00:00:02", "10.0.0.2")
+    connect(sim, client, server, bandwidth_bps=100e6, delay_s=1e-3)
+    received = []
+    listener = TcpListener(
+        server, 80, on_receive=lambda conn, data: received.append(data)
+    )
+    return client, server, listener, received
+
+
+class TestHandshake:
+    def test_three_way_establishes_both_sides(self, sim, wire):
+        client, server, listener, received = wire
+        conn = TcpConnection.connect(client, server.ip, 80)
+        sim.run(until=1.0)
+        assert conn.state == TcpConnection.ESTABLISHED
+        server_conn = next(iter(listener.connections.values()))
+        assert server_conn.state == TcpConnection.ESTABLISHED
+
+    def test_established_callback(self, sim, wire):
+        client, server, listener, received = wire
+        seen = []
+        TcpConnection.connect(client, server.ip, 80,
+                              on_established=seen.append)
+        sim.run(until=1.0)
+        assert len(seen) == 1
+
+    def test_syn_retransmitted_when_lost(self, sim, wire):
+        client, server, listener, received = wire
+        link = client.port(1).link
+        link.set_up(False)
+        conn = TcpConnection.connect(client, server.ip, 80)
+        sim.schedule(0.3, link.set_up, True)
+        sim.run(until=3.0)
+        assert conn.state == TcpConnection.ESTABLISHED
+        assert conn.retransmissions >= 1
+
+
+class TestDataTransfer:
+    def test_small_payload_arrives_intact(self, sim, wire):
+        client, server, listener, received = wire
+        conn = TcpConnection.connect(
+            client, server.ip, 80,
+            on_established=lambda c: c.send(b"GET / HTTP/1.1\r\n\r\n"),
+        )
+        sim.run(until=1.0)
+        assert b"".join(received) == b"GET / HTTP/1.1\r\n\r\n"
+        assert conn.bytes_acked == len(b"GET / HTTP/1.1\r\n\r\n")
+
+    def test_bulk_transfer_across_many_segments(self, sim, wire):
+        client, server, listener, received = wire
+        blob = bytes(range(256)) * 200  # 51200 B ~ 37 segments
+        conn = TcpConnection.connect(
+            client, server.ip, 80,
+            on_established=lambda c: c.send(blob),
+        )
+        sim.run(until=5.0)
+        assert b"".join(received) == blob
+        assert conn.bytes_acked == len(blob)
+
+    def test_cwnd_grows_during_transfer(self, sim, wire):
+        client, server, listener, received = wire
+        conn = TcpConnection.connect(
+            client, server.ip, 80,
+            on_established=lambda c: c.send(b"z" * (40 * MSS)),
+        )
+        sim.run(until=5.0)
+        assert conn.cwnd > 2 * MSS
+
+    def test_server_can_reply(self, sim, wire):
+        client, server, listener, received = wire
+        listener.on_receive = lambda conn, data: conn.send(b"HTTP/1.1 200 OK")
+        got = []
+        TcpConnection.connect(
+            client, server.ip, 80,
+            on_receive=got.append,
+            on_established=lambda c: c.send(b"GET /"),
+        )
+        sim.run(until=2.0)
+        assert b"".join(got) == b"HTTP/1.1 200 OK"
+
+    def test_two_concurrent_connections(self, sim, wire):
+        client, server, listener, received = wire
+        TcpConnection.connect(client, server.ip, 80,
+                              on_established=lambda c: c.send(b"one"))
+        TcpConnection.connect(client, server.ip, 80,
+                              on_established=lambda c: c.send(b"two"))
+        sim.run(until=2.0)
+        assert sorted(received) == [b"one", b"two"]
+        assert len(listener.connections) == 2
+
+
+class TestLossRecovery:
+    def test_data_survives_loss_burst(self, sim, wire):
+        client, server, listener, received = wire
+        blob = b"payload-" * 125000  # 1 MB: outlasts the cut below
+        conn = TcpConnection.connect(
+            client, server.ip, 80,
+            on_established=lambda c: c.send(blob),
+        )
+        link = client.port(1).link
+        # Cut the wire mid-transfer, then heal it.
+        sim.schedule(0.01, link.set_up, False)
+        sim.schedule(0.40, link.set_up, True)
+        sim.run(until=30.0)
+        assert b"".join(received) == blob
+        assert conn.retransmissions >= 1
+
+    def test_loss_shrinks_cwnd(self, sim, wire):
+        client, server, listener, received = wire
+        conn = TcpConnection.connect(
+            client, server.ip, 80,
+            on_established=lambda c: c.send(b"y" * (3000 * MSS)),
+        )
+        sim.run(until=0.05)
+        grown = conn.cwnd
+        assert conn.unacked_bytes > 0, "transfer must still be in flight"
+        link = client.port(1).link
+        link.set_up(False)
+        sim.run(until=1.0)
+        link.set_up(True)
+        sim.run(until=1.1)
+        assert conn.cwnd < grown
+
+    def test_queue_overflow_recovered(self, sim):
+        """A tight bottleneck queue forces real drops; the transfer
+        must still complete exactly."""
+        client = Host(sim, "c", "00:00:00:00:00:01", "10.0.0.1")
+        server = Host(sim, "s", "00:00:00:00:00:02", "10.0.0.2")
+        connect(sim, client, server, bandwidth_bps=2e6, delay_s=2e-3,
+                queue_packets=4)
+        received = []
+        TcpListener(server, 80,
+                    on_receive=lambda conn, data: received.append(data))
+        blob = b"x" * (60 * MSS)
+        conn = TcpConnection.connect(
+            client, server.ip, 80,
+            on_established=lambda c: c.send(blob),
+        )
+        sim.run(until=60.0)
+        assert b"".join(received) == blob
+        assert conn.retransmissions > 0
+
+
+class TestTeardown:
+    def test_close_after_data(self, sim, wire):
+        client, server, listener, received = wire
+        closed = []
+        conn = TcpConnection.connect(
+            client, server.ip, 80,
+            on_established=lambda c: (c.send(b"bye"), c.close()),
+            on_close=closed.append,
+        )
+        sim.run(until=2.0)
+        assert conn.state == TcpConnection.CLOSED
+        assert closed == [conn]
+        assert b"".join(received) == b"bye"
+
+    def test_send_after_close_rejected(self, sim, wire):
+        client, server, listener, received = wire
+        conn = TcpConnection.connect(client, server.ip, 80)
+        sim.run(until=1.0)
+        conn.close()
+        sim.run(until=2.0)
+        with pytest.raises(RuntimeError):
+            conn.send(b"late")
+
+
+class TestOverLiveSec:
+    def test_tcp_through_steered_path(self, steering_net):
+        """A real TCP connection through the IDS steering chain."""
+        client = steering_net.host("h1_1")
+        gateway = steering_net.gateway
+        received = []
+        TcpListener(gateway, 8080,
+                    on_receive=lambda conn, data: received.append(data))
+        blob = b"web-object-" * 2000
+        conn = TcpConnection.connect(
+            client, gateway.ip, 8080,
+            on_established=lambda c: c.send(blob),
+        )
+        steering_net.run(10.0)
+        assert b"".join(received) == blob
+        processed = sum(e.processed_packets for e in steering_net.elements)
+        assert processed > 0, "the connection must have traversed the IDS"

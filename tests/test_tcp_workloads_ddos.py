@@ -1,0 +1,142 @@
+"""Tests for TCP workloads and the rate-anomaly element."""
+
+import pytest
+
+from repro import Policy, PolicyTable, build_livesec_network
+from repro.core.events import EventKind
+from repro.core.policy import FlowSelector, PolicyAction
+from repro.elements.ratelimit import RateAnomalyElement
+from repro.net import packet as pkt
+from repro.workloads import CbrUdpFlow
+from repro.workloads.tcpflows import TcpServer, TcpTransfer
+
+GATEWAY_IP = "10.255.255.254"
+
+
+class TestRateAnomalyElement:
+    def _element(self, sim, threshold_pps=100.0):
+        from repro.net.node import Node, connect
+
+        class Sink(Node):
+            def receive(self, frame, in_port):
+                pass
+
+        element = RateAnomalyElement(sim, "d", "00:00:00:00:00:02",
+                                     "10.0.0.2", threshold_pps=threshold_pps,
+                                     burst_s=0.1)
+        connect(sim, Sink(sim, "sink"), element, bandwidth_bps=10e9,
+                delay_s=1e-6)
+        return element
+
+    def _blast(self, sim, element, src_ip, pps, seconds):
+        interval = 1.0 / pps
+        count = int(seconds * pps)
+
+        def emit(i=0):
+            frame = pkt.make_udp("00:00:00:00:00:01", element.mac,
+                                 src_ip, "10.0.0.9", 1, 9000, size=200)
+            element.receive(frame, 1)
+            if i + 1 < count:
+                sim.schedule(interval, emit, i + 1)
+
+        emit()
+
+    def test_flood_detected(self, sim):
+        element = self._element(sim, threshold_pps=100.0)
+        self._blast(sim, element, "10.0.0.1", pps=1000, seconds=0.2)
+        sim.run(until=1.0)
+        assert element.floods_detected == 1
+
+    def test_normal_rate_not_flagged(self, sim):
+        element = self._element(sim, threshold_pps=100.0)
+        self._blast(sim, element, "10.0.0.1", pps=50, seconds=1.0)
+        sim.run(until=2.0)
+        assert element.floods_detected == 0
+
+    def test_per_source_isolation(self, sim):
+        element = self._element(sim, threshold_pps=100.0)
+        self._blast(sim, element, "10.0.0.1", pps=1000, seconds=0.2)
+        self._blast(sim, element, "10.0.0.5", pps=50, seconds=1.0)
+        sim.run(until=2.0)
+        assert element.floods_detected == 1
+
+    def test_flagged_once_until_unflagged(self, sim):
+        element = self._element(sim, threshold_pps=100.0)
+        self._blast(sim, element, "10.0.0.1", pps=1000, seconds=0.4)
+        sim.run(until=1.0)
+        assert element.floods_detected == 1
+        element.unflag("10.0.0.1")
+        self._blast(sim, element, "10.0.0.1", pps=1000, seconds=0.2)
+        sim.run(until=2.0)
+        assert element.floods_detected == 2
+
+    def test_invalid_threshold(self, sim):
+        with pytest.raises(ValueError):
+            RateAnomalyElement(sim, "d", "m", "ip", threshold_pps=0)
+
+
+class TestDdosEndToEnd:
+    def test_flooder_blocked_at_ingress(self):
+        policies = PolicyTable()
+        policies.add(Policy(
+            name="ddos-watch",
+            selector=FlowSelector(dst_ip=GATEWAY_IP),
+            action=PolicyAction.CHAIN,
+            service_chain=("ddos",),
+        ))
+        net = build_livesec_network(
+            topology="linear", policies=policies, num_as=3, hosts_per_as=1,
+            access_bandwidth_bps=1e9,
+        )
+        net.add_element("ddos", net.topology.as_switches[0],
+                        threshold_pps=1000.0)
+        net.start()
+        flood = CbrUdpFlow(net.sim, net.host("h1_1"), GATEWAY_IP,
+                           rate_bps=60e6, packet_size=500)  # 15k pps
+        flood.start()
+        net.run(3.0)
+        at_block = flood.delivered_bytes(net.gateway)
+        net.run(2.0)
+        flood.stop()
+        blocked = net.controller.log.query(kind=EventKind.FLOW_BLOCKED)
+        assert blocked, "the flood must be blocked"
+        assert flood.delivered_bytes(net.gateway) == at_block
+
+
+class TestTcpWorkloads:
+    def test_transfer_completes_with_goodput(self, small_net):
+        server = TcpServer(small_net.gateway, port=8080)
+        transfer = TcpTransfer(small_net.host("h1_1"), GATEWAY_IP,
+                               port=8080, size_bytes=200_000).start()
+        small_net.run(20.0)
+        assert transfer.complete
+        assert server.bytes_received == 200_000
+        assert transfer.goodput_bps() > 1e6
+
+    def test_transfer_through_ids_chain(self, steering_net):
+        server = TcpServer(steering_net.gateway, port=8080)
+        transfer = TcpTransfer(steering_net.host("h1_1"), GATEWAY_IP,
+                               port=8080, size_bytes=100_000).start()
+        steering_net.run(20.0)
+        assert transfer.complete
+        assert sum(e.processed_packets for e in steering_net.elements) > 0
+
+    def test_blocked_connection_stalls(self):
+        """A TCP connection whose flow the controller drops at the
+        ingress must stall: retransmissions go nowhere."""
+        policies = PolicyTable()
+        policies.add(Policy(
+            name="block-8080",
+            selector=FlowSelector(dst_ip=GATEWAY_IP, tp_dst=8080),
+            action=PolicyAction.DROP,
+        ))
+        net = build_livesec_network(topology="linear", policies=policies,
+                                    num_as=2, hosts_per_as=1)
+        net.start()
+        server = TcpServer(net.gateway, port=8080)
+        transfer = TcpTransfer(net.host("h1_1"), GATEWAY_IP, port=8080,
+                               size_bytes=50_000).start()
+        net.run(15.0)
+        assert not transfer.complete
+        assert server.bytes_received == 0
+        assert transfer.connection.retransmissions >= 2

@@ -1,0 +1,86 @@
+"""Tests for the JSON web-database gateway."""
+
+import json
+
+import pytest
+
+from repro.core.events import EventKind, EventLog
+from repro.core.visualization import MonitoringComponent
+from repro.core.webdb import WebDatabase, event_to_dict, snapshot_to_dict
+from repro.workloads import HttpFlow
+
+GATEWAY_IP = "10.255.255.254"
+
+
+@pytest.fixture
+def webdb():
+    log = EventLog()
+    monitoring = MonitoringComponent(log)
+    log.emit(1.0, EventKind.SWITCH_JOIN, dpid=1, name="sw1")
+    log.emit(1.0, EventKind.SWITCH_JOIN, dpid=2, name="sw2")
+    log.emit(1.5, EventKind.LINK_UP, src_dpid=1, dst_dpid=2)
+    log.emit(1.5, EventKind.LINK_UP, src_dpid=2, dst_dpid=1)
+    log.emit(2.0, EventKind.HOST_JOIN, mac="m1", ip="10.0.0.1", dpid=1)
+    log.emit(3.0, EventKind.ELEMENT_ONLINE, mac="e1", service_type="ids",
+             dpid=2)
+    log.emit(4.0, EventKind.PROTOCOL_IDENTIFIED, user_mac="m1",
+             application="http")
+    return log, WebDatabase(monitoring)
+
+
+class TestSerialization:
+    def test_live_view_shape(self, webdb):
+        log, db = webdb
+        view = db.live_view()
+        assert view["switches"] == [1, 2]
+        assert view["full_mesh"] is True
+        assert view["users"][0]["mac"] == "m1"
+        assert view["users"][0]["applications"] == ["http"]
+        assert view["elements"][0]["service_type"] == "ids"
+
+    def test_view_is_json_serializable(self, webdb):
+        log, db = webdb
+        text = json.dumps(db.live_view())
+        assert "m1" in text
+
+    def test_events_rows(self, webdb):
+        log, db = webdb
+        rows = db.events()
+        assert len(rows) == 7
+        assert rows[0] == {"time": 1.0, "kind": EventKind.SWITCH_JOIN,
+                           "data": {"dpid": 1, "name": "sw1"}}
+
+    def test_events_since_filter(self, webdb):
+        log, db = webdb
+        assert len(db.events(since=2.0)) == 3
+
+    def test_replay_view(self, webdb):
+        log, db = webdb
+        log.emit(9.0, EventKind.HOST_LEAVE, mac="m1")
+        past = db.replay_view(until=5.0)
+        assert past["users"][0]["online"] is True
+        now = db.live_view()
+        assert now["users"][0]["online"] is False
+
+
+class TestDumpLoad:
+    def test_roundtrip_through_file(self, webdb, tmp_path):
+        log, db = webdb
+        path = str(tmp_path / "livesec-db.json")
+        rows = db.dump(path)
+        assert rows == 7
+        loaded = WebDatabase.load(path)
+        assert loaded["live"]["switches"] == [1, 2]
+        assert len(loaded["events"]) == 7
+
+    def test_dump_from_running_network(self, steering_net, tmp_path):
+        HttpFlow(steering_net.sim, steering_net.host("h1_1"), GATEWAY_IP,
+                 rate_bps=2e6, duration_s=1.0).start()
+        steering_net.run(2.0)
+        db = WebDatabase(steering_net.monitoring)
+        path = str(tmp_path / "campus.json")
+        rows = db.dump(path)
+        assert rows > 10
+        loaded = WebDatabase.load(path)
+        assert loaded["live"]["full_mesh"]
+        assert len(loaded["live"]["elements"]) == 2
