@@ -1,6 +1,6 @@
 # Convenience targets for the LiveSec reproduction.
 
-.PHONY: install test bench examples all
+.PHONY: install test bench lint stats-smoke examples all
 
 install:
 	python setup.py develop
@@ -10,6 +10,18 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# ruff when available; otherwise at least a full-tree syntax check.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; falling back to compileall"; \
+		python -m compileall -q src tests benchmarks; \
+	fi
+
+stats-smoke:
+	PYTHONPATH=src python -m repro stats --quick
 
 examples:
 	python examples/quickstart.py

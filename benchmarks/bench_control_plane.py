@@ -21,6 +21,7 @@ from repro.workloads import CbrUdpFlow
 from common import (
     GATEWAY_IP,
     build_throughput_net,
+    collect_metrics,
     ids_chain_policies,
     run_once,
 )
@@ -53,11 +54,12 @@ def _setup_burst(flows_count: int = 200):
     net.run(5.0)
     starts = net.controller.log.query(kind=EventKind.FLOW_START,
                                       since=start)
+    setup_rules = collect_metrics(net).get("controller.flow_setup_rules")
     if not starts:
-        return 0.0, 0
+        return 0.0, 0, setup_rules
     window = max(e.time for e in starts) - start
     rate = len(starts) / window if window > 0 else float("inf")
-    return rate, len(starts)
+    return rate, len(starts), setup_rules
 
 
 def _entries_per_session():
@@ -81,13 +83,14 @@ def _entries_per_session():
 def test_e13_control_plane_cost(benchmark):
     def experiment():
         first_ms, steady_ms = _first_packet_penalty()
-        rate, installed = _setup_burst()
+        rate, installed, setup_rules = _setup_burst()
         plain_rules, steered_rules = _entries_per_session()
         return {
             "first_ms": first_ms,
             "steady_ms": steady_ms,
             "rate": rate,
             "installed": installed,
+            "setup_rules": setup_rules,
             "plain_rules": plain_rules,
             "steered_rules": steered_rules,
         }
@@ -104,6 +107,9 @@ def test_e13_control_plane_cost(benchmark):
                  f"{result['first_ms'] / result['steady_ms']:.1f}x"],
                 ["burst: sessions installed", result["installed"]],
                 ["burst: setup rate (sessions/s)", round(result["rate"], 0)],
+                ["burst: rules/setup p50/p99",
+                 f"{result['setup_rules'].quantile(50.0):.0f}"
+                 f"/{result['setup_rules'].quantile(99.0):.0f}"],
                 ["entries per plain session", result["plain_rules"]],
                 ["entries per steered session", result["steered_rules"]],
             ],
@@ -118,5 +124,7 @@ def test_e13_control_plane_cost(benchmark):
     assert result["first_ms"] < 20 * result["steady_ms"]
     assert result["installed"] == 200
     assert result["rate"] > 100
+    # The registry saw every install the event log saw.
+    assert result["setup_rules"].count == 200
     assert result["plain_rules"] == 4      # 2 forward + 2 reverse
     assert result["steered_rules"] == 8    # 4 + 4 with one waypoint

@@ -92,3 +92,19 @@ def senders_for(net: LiveSecNetwork, count: int,
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def collect_metrics(net):
+    """The observability snapshot of any built network, LiveSec or
+    baseline, so every bench can report through identical machinery.
+
+    A :class:`LiveSecNetwork` already carries a registry; the
+    traditional and pswitch baselines get one attached on first use.
+    """
+    from repro.obs import MetricsRegistry
+
+    if isinstance(net, LiveSecNetwork):
+        return net.metrics_snapshot()
+    if getattr(net, "metrics", None) is None:
+        net.attach_metrics(MetricsRegistry())
+    return net.metrics.snapshot()

@@ -9,6 +9,8 @@ without writing a script:
                      E2 configuration),
 * ``latency``     -- the legacy-vs-LiveSec ping comparison (E5),
 * ``loadbalance`` -- per-element load shares under a chosen dispatcher,
+* ``stats``       -- run HTTP traffic and print the controller's
+                     observability snapshot (text, JSON, or Prometheus),
 * ``scale``       -- build the paper-scale FIT deployment and print the
                      controller's view of it.
 """
@@ -185,6 +187,42 @@ def cmd_loadbalance(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import format_snapshot, to_json, to_prometheus_text
+    from repro.workloads import HttpFlow
+
+    quick = args.quick
+    seconds = 1.5 if quick else args.seconds
+    net = build_livesec_network(
+        topology="linear", policies=_ids_policies(),
+        num_as=2 if quick else 4, hosts_per_as=2,
+    )
+    for index in range(1 if quick else 2):
+        net.add_element("ids", net.topology.as_switches[index])
+    net.start()
+    hosts = [h for h in net.topology.hosts if h is not net.topology.gateway]
+    flows = [
+        HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=2e6,
+                 packet_size=1500).start(delay_s=offset * 0.05)
+        for offset, host in enumerate(hosts)
+    ]
+    net.run(seconds)
+    for flow in flows:
+        flow.stop()
+    net.run(net.controller.idle_timeout_s + 1.0)
+
+    snapshot = net.metrics_snapshot()
+    if args.format == "json":
+        print(to_json(snapshot, indent=2))
+    elif args.format == "prometheus":
+        print(to_prometheus_text(snapshot), end="")
+    else:
+        title = (f"livesec stats: {len(hosts)} hosts,"
+                 f" {len(net.elements)} element(s), {seconds:g}s of traffic")
+        print(format_snapshot(snapshot, title=title))
+    return 0
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     net = build_livesec_network(
         topology="fit", policies=_ids_policies(),
@@ -233,6 +271,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadbalance.add_argument("--seconds", type=float, default=6.0)
     loadbalance.set_defaults(func=cmd_loadbalance)
+
+    stats = sub.add_parser(
+        "stats", help="run traffic and print the observability snapshot"
+    )
+    stats.add_argument("--quick", action="store_true",
+                       help="small topology, short run (CI smoke test)")
+    stats.add_argument("--seconds", type=float, default=4.0,
+                       help="traffic duration (ignored with --quick)")
+    stats.add_argument("--format", default="text",
+                       choices=["text", "json", "prometheus"])
+    stats.set_defaults(func=cmd_stats)
 
     scale = sub.add_parser("scale", help="paper-scale FIT deployment")
     scale.set_defaults(func=cmd_scale)

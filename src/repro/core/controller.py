@@ -20,8 +20,9 @@ the 4D/OpenFlow separation the paper builds on.
 
 from __future__ import annotations
 
-from dataclasses import replace as dc_replace
-from typing import Dict, List, Optional, Tuple
+import warnings
+from dataclasses import dataclass, replace as dc_replace
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core import messages as svcmsg
 from repro.core.directory import DirectoryProxy
@@ -40,6 +41,7 @@ from repro.core.services import CertificateError, ServiceRegistry
 from repro.core.sessions import Session, SessionTable
 from repro.net import packet as pkt
 from repro.net.packet import Arp, Dhcp, Ethernet, FlowNineTuple, Udp, extract_nine_tuple
+from repro.obs import MetricsRegistry, MetricsSnapshot
 from repro.openflow import messages as ofmsg
 from repro.openflow.actions import Output
 from repro.openflow.controller_base import ControllerBase, DiscoveredLink, SwitchHandle
@@ -51,6 +53,79 @@ REGISTRY_EXPIRY_INTERVAL_S = 1.0
 ANNOUNCE_REFRESH_INTERVAL_S = 60.0
 ANNOUNCE_MIN_GAP_S = 0.25
 DEFAULT_STATS_INTERVAL_S = 1.0
+
+# Legacy diagnostic counter names, preserved verbatim by the
+# ``counters`` back-compat view (registry metric: ``controller.<name>``).
+LEGACY_COUNTER_NAMES = (
+    "arp_in",
+    "service_messages",
+    "flows_installed",
+    "flows_blocked",
+    "transit_ignored",
+    "orphan_chain_frames",
+    "no_element_fallback",
+    "routing_deferred",
+)
+
+
+class CountersView(Mapping):
+    """Read-only live view of the legacy diagnostics counters.
+
+    Behaves like the old ``controller.counters`` dict for reads
+    (lookup, iteration, ``dict(...)``), but the values come straight
+    from the metrics registry -- there is exactly one source of truth.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters: Dict[str, object]):
+        self._counters = counters
+
+    def __getitem__(self, name: str) -> int:
+        return int(self._counters[name].value)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+@dataclass
+class ControllerStatus(Mapping):
+    """Typed result of :meth:`LiveSecController.status`.
+
+    Iterates and indexes like the historical ad-hoc dict (the five
+    legacy keys), so existing ``status()["nib"]`` call sites keep
+    working; the full metrics snapshot rides along as ``.metrics``.
+    """
+
+    nib: Dict[str, object]
+    registry: Dict[str, object]
+    sessions: int
+    counters: Dict[str, int]
+    events: int
+    metrics: MetricsSnapshot
+
+    _LEGACY_KEYS = ("nib", "registry", "sessions", "counters", "events")
+
+    def to_dict(self) -> dict:
+        """The exact pre-redesign ``status()`` dict shape."""
+        return {key: getattr(self, key) for key in self._LEGACY_KEYS}
+
+    def __getitem__(self, key: str):
+        if key not in self._LEGACY_KEYS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._LEGACY_KEYS)
+
+    def __len__(self) -> int:
+        return len(self._LEGACY_KEYS)
 
 
 class LiveSecController(ControllerBase):
@@ -73,6 +148,7 @@ class LiveSecController(ControllerBase):
         stats_interval_s: Optional[float] = DEFAULT_STATS_INTERVAL_S,
         on_no_element: str = "allow",
         lldp_enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         super().__init__(sim, lldp_enabled=lldp_enabled)
         if on_no_element not in ("allow", "drop"):
@@ -90,25 +166,109 @@ class LiveSecController(ControllerBase):
         self._port_capacity: Dict[Tuple[int, int], float] = {}
         self._last_port_sample: Dict[Tuple[int, int], Tuple[int, float]] = {}
         self._last_announce: Dict[str, float] = {}
-        # Add-ons (e.g. AggregateFlowControl) subscribe here to see
-        # flow-stats replies without subclassing.
-        self.flow_stats_listeners: list = []
-        # Diagnostics.
-        self.counters: Dict[str, int] = {
-            "arp_in": 0,
-            "service_messages": 0,
-            "flows_installed": 0,
-            "flows_blocked": 0,
-            "transit_ignored": 0,
-            "orphan_chain_frames": 0,
-            "no_element_fallback": 0,
-            "routing_deferred": 0,
-        }
+        # Add-ons (e.g. AggregateFlowControl) subscribe via
+        # subscribe_flow_stats() to see flow-stats replies without
+        # subclassing.
+        self._flow_stats_listeners: list = []
+        # Observability: one registry for every subsystem's metrics.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._setup_metrics()
         sim.every(HOST_EXPIRY_INTERVAL_S, self._expire_hosts)
         sim.every(REGISTRY_EXPIRY_INTERVAL_S, self._expire_elements)
         sim.every(ANNOUNCE_REFRESH_INTERVAL_S, self.refresh_announcements)
         if stats_interval_s is not None:
             sim.every(stats_interval_s, self._poll_stats)
+
+    # ==================================================================
+    # Observability
+
+    def _setup_metrics(self) -> None:
+        registry = self.metrics
+        if hasattr(self.sim, "attach_metrics"):
+            self.sim.attach_metrics(registry)
+        self.balancer.attach_metrics(registry)
+        self._legacy_counters = {
+            name: registry.counter(
+                f"controller.{name}", f"Legacy diagnostics counter {name!r}"
+            )
+            for name in LEGACY_COUNTER_NAMES
+        }
+        self._counters_view = CountersView(self._legacy_counters)
+        # Hot-path latency histograms (wall clock: control-plane cost).
+        self._packet_in_hists = {
+            kind: registry.histogram(
+                "controller.packet_in_latency_s",
+                "Wall-clock time spent handling one PacketIn",
+                kind=kind,
+            )
+            for kind in ("arp", "dhcp", "service", "data")
+        }
+        self._flow_setup_rules_hist = registry.histogram(
+            "controller.flow_setup_rules",
+            "Flow entries installed per end-to-end session setup",
+        )
+        self._flow_setup_wall_hist = registry.histogram(
+            "controller.flow_setup_wall_s",
+            "Wall-clock time to compute and install one session",
+        )
+        self._policy_scan_hist = registry.histogram(
+            "controller.policy_lookup_scans",
+            "Policy-table rows scanned per first-packet lookup",
+        )
+        # Session lifetime is a *simulated-time* span.
+        self._session_duration_hist = registry.histogram(
+            "controller.session_duration_s",
+            "Simulated lifetime of ended sessions",
+            clock=lambda: self.sim.now,
+        )
+        registry.gauge(
+            "controller.sessions_active", "Live (not torn down) sessions"
+        ).set_function(lambda: len(self.sessions))
+        registry.gauge(
+            "controller.hosts_known", "Hosts currently in the NIB"
+        ).set_function(lambda: len(self.nib.hosts))
+        registry.gauge(
+            "controller.policies", "Rows in the global policy table"
+        ).set_function(lambda: len(self.policies))
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self._legacy_counters[name].inc(amount)
+
+    @property
+    def counters(self) -> CountersView:
+        """Read-only live view of the legacy diagnostics counters.
+
+        Kept for back-compat with the pre-registry API; new consumers
+        should read ``controller.metrics`` instead.
+        """
+        return self._counters_view
+
+    def subscribe_flow_stats(
+        self, callback: Callable[[ofmsg.FlowStatsReply], None]
+    ) -> Callable[[], None]:
+        """Register a flow-stats observer; returns an unsubscribe
+        callable.  Unsubscribing twice is a no-op."""
+        self._flow_stats_listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._flow_stats_listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    @property
+    def flow_stats_listeners(self) -> list:
+        """Deprecated: the bare listener list.  Mutating it still
+        works for one release; use :meth:`subscribe_flow_stats`."""
+        warnings.warn(
+            "flow_stats_listeners is deprecated;"
+            " use subscribe_flow_stats(callback)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._flow_stats_listeners
 
     # ==================================================================
     # Topology events
@@ -174,17 +334,21 @@ class LiveSecController(ControllerBase):
     def on_packet_in(self, event: ofmsg.PacketIn) -> None:
         frame = event.frame
         if frame.ethertype == pkt.ETH_TYPE_ARP and isinstance(frame.payload, Arp):
-            self._handle_arp(event, frame.payload)
+            with self._packet_in_hists["arp"].time():
+                self._handle_arp(event, frame.payload)
             return
         if isinstance(frame.payload, Dhcp):
-            self._handle_dhcp(event, frame.payload)
+            with self._packet_in_hists["dhcp"].time():
+                self._handle_dhcp(event, frame.payload)
             return
         transport = frame.transport()
         if isinstance(transport, Udp) and svcmsg.is_service_message(transport.payload):
-            self._handle_service_message(event, transport.payload)
+            with self._packet_in_hists["service"].time():
+                self._handle_service_message(event, transport.payload)
             return
         if frame.ip() is not None:
-            self._handle_data_packet(event)
+            with self._packet_in_hists["data"].time():
+                self._handle_data_packet(event)
             return
         # Unknown ethertype (e.g. stray BPDUs leaking through): ignore.
 
@@ -203,7 +367,7 @@ class LiveSecController(ControllerBase):
         return port not in uplinks
 
     def _handle_arp(self, event: ofmsg.PacketIn, arp: Arp) -> None:
-        self.counters["arp_in"] += 1
+        self._count("arp_in")
         periphery = self._is_periphery_port(event.dpid, event.in_port)
         if periphery:
             self._learn_host(
@@ -233,17 +397,20 @@ class LiveSecController(ControllerBase):
 
     def _learn_host(self, mac: str, ip: Optional[str], dpid: int, port: int,
                     is_element: bool = False) -> HostRecord:
+        # Distinguish a genuine join from a move *before* the NIB
+        # overwrites the record: inferring the difference from the
+        # record's timestamps afterwards mis-labels a host that roams
+        # (e.g. wired -> wifi) at the same instant it was first
+        # learned, because first_seen == last_seen then looks like a
+        # fresh join.
+        prior = self.nib.host_by_mac(mac)
+        moved = prior is not None and (prior.dpid != dpid or prior.port != port)
         record, is_new = self.nib.learn_host(
             mac=mac, ip=ip, dpid=dpid, port=port, now=self.sim.now,
             is_element=is_element,
         )
         if is_new:
-            kind = (
-                EventKind.HOST_MOVE
-                if record.first_seen < self.sim.now and not is_element
-                and record.first_seen != record.last_seen
-                else EventKind.HOST_JOIN
-            )
+            kind = EventKind.HOST_MOVE if moved else EventKind.HOST_JOIN
             if not record.is_element:
                 self.log.emit(self.sim.now, kind,
                               mac=mac, ip=ip, dpid=dpid, port=port)
@@ -314,7 +481,7 @@ class LiveSecController(ControllerBase):
     # Service-element messages (never get a flow entry installed)
 
     def _handle_service_message(self, event: ofmsg.PacketIn, payload: bytes) -> None:
-        self.counters["service_messages"] += 1
+        self._count("service_messages")
         mac = event.frame.src
         try:
             message = svcmsg.decode(payload)
@@ -449,7 +616,7 @@ class LiveSecController(ControllerBase):
         self._install_rule(rule)
         if session is not None:
             session.blocked = True
-        self.counters["flows_blocked"] += 1
+        self._count("flows_blocked")
         self.log.emit(
             self.sim.now, EventKind.FLOW_BLOCKED,
             user_mac=user_mac, dpid=src.dpid, attack=attack_type,
@@ -481,7 +648,7 @@ class LiveSecController(ControllerBase):
             # punt from a switch whose uplink is still undiscovered.
             # Deliver locally if the destination sits on this switch,
             # but never install state or learn locations from it.
-            self.counters["transit_ignored"] += 1
+            self._count("transit_ignored")
             dst = self.nib.host_by_mac(frame.dst)
             if (
                 dst is not None
@@ -512,7 +679,7 @@ class LiveSecController(ControllerBase):
             and dst_record_early.is_element
             and frame.src != dst_record_early.mac
         ):
-            self.counters["orphan_chain_frames"] += 1
+            self._count("orphan_chain_frames")
             return
 
         # Learn-or-refresh: a packet from a periphery port is location
@@ -525,13 +692,18 @@ class LiveSecController(ControllerBase):
             self._periphery_flood(frame, exclude=(event.dpid, event.in_port))
             return
 
-        policy = self.policies.lookup(flow)
+        policy, scanned = self.policies.match(flow)
+        self._policy_scan_hist.observe(scanned)
+        if policy is not None:
+            # Hit accounting is the controller's call, not the
+            # lookup's: read-only consumers must not inflate hits.
+            self.policies.record_hit(policy)
         action = policy.action if policy is not None else self.policies.default_action
 
         if action is PolicyAction.DROP:
             rule = drop_rule(flow, src)
             self._install_rule(rule)
-            self.counters["flows_blocked"] += 1
+            self._count("flows_blocked")
             self.log.emit(
                 self.sim.now, EventKind.FLOW_BLOCKED,
                 user_mac=src.mac, dpid=src.dpid,
@@ -547,20 +719,21 @@ class LiveSecController(ControllerBase):
             if resolved is None:
                 if self.on_no_element == "drop":
                     self._install_rule(drop_rule(flow, src))
-                    self.counters["flows_blocked"] += 1
+                    self._count("flows_blocked")
                     return
-                self.counters["no_element_fallback"] += 1
+                self._count("no_element_fallback")
             else:
                 waypoints, element_macs = resolved
 
         try:
-            self._install_session(
-                event, flow, src, dst, waypoints, tuple(element_macs), policy
-            )
+            with self._flow_setup_wall_hist.time():
+                self._install_session(
+                    event, flow, src, dst, waypoints, tuple(element_macs), policy
+                )
         except RoutingError:
             # Topology discovery has not converged; deliver nothing and
             # let the application retry.
-            self.counters["routing_deferred"] += 1
+            self._count("routing_deferred")
 
     def _resolve_chain(
         self, policy: Policy, flow: FlowNineTuple, src: HostRecord
@@ -634,7 +807,8 @@ class LiveSecController(ControllerBase):
                 else None
             )
             self._install_rule(rule, buffer_id=buffer_id)
-        self.counters["flows_installed"] += 1
+        self._count("flows_installed")
+        self._flow_setup_rules_hist.observe(len(rules))
         self.log.emit(
             self.sim.now, EventKind.FLOW_START,
             session=session.session_id, user_mac=src.mac, dst_mac=dst.mac,
@@ -725,6 +899,7 @@ class LiveSecController(ControllerBase):
         self.balancer.release(session.flow)
         self.balancer.release(session.reverse_flow)
         self.sessions.end(session)
+        self._session_duration_hist.observe(self.sim.now - session.created_at)
         self.log.emit(
             self.sim.now, EventKind.FLOW_END,
             session=session.session_id, user_mac=session.src_mac,
@@ -802,18 +977,24 @@ class LiveSecController(ControllerBase):
                 )
 
     def on_flow_stats(self, event: ofmsg.FlowStatsReply) -> None:
-        for listener in self.flow_stats_listeners:
+        for listener in list(self._flow_stats_listeners):
             listener(event)
 
     # ==================================================================
     # Introspection
 
-    def status(self) -> dict:
-        """One-call overview used by examples and tests."""
-        return {
-            "nib": self.nib.summary(),
-            "registry": self.registry.summary(),
-            "sessions": len(self.sessions),
-            "counters": dict(self.counters),
-            "events": len(self.log),
-        }
+    def status(self) -> ControllerStatus:
+        """One-call overview used by examples, tests and the CLI.
+
+        The result is a typed :class:`ControllerStatus`; it iterates
+        and indexes like the historical dict, and ``.to_dict()``
+        returns exactly the old shape.
+        """
+        return ControllerStatus(
+            nib=self.nib.summary(),
+            registry=self.registry.summary(),
+            sessions=len(self.sessions),
+            counters=dict(self.counters),
+            events=len(self.log),
+            metrics=self.metrics.snapshot(),
+        )

@@ -136,6 +136,7 @@ class LiveSecNetwork:
             )
             channel.connect()
             self.channels[switch.dpid] = channel
+            switch.attach_metrics(self.controller.metrics)
             self._register_capacity(switch)
 
     def _register_capacity(self, switch) -> None:
@@ -145,8 +146,14 @@ class LiveSecNetwork:
                     switch.dpid, number, port.link.bandwidth_bps
                 )
 
-    def status(self) -> dict:
+    def status(self):
+        """Controller overview (a :class:`ControllerStatus`; indexes
+        like the historical dict)."""
         return self.controller.status()
+
+    def metrics_snapshot(self):
+        """The deployment-wide observability snapshot."""
+        return self.controller.metrics.snapshot()
 
 
 _TOPOLOGY_BUILDERS = {

@@ -150,7 +150,7 @@ def make_dispatcher(name: str) -> Dispatcher:
 class LoadBalancer:
     """Assignment book-keeping around a dispatcher."""
 
-    def __init__(self, dispatcher: Dispatcher):
+    def __init__(self, dispatcher: Dispatcher, metrics=None):
         self.dispatcher = dispatcher
         # A chained policy assigns the same flow once per service type,
         # so a flow can hold several element assignments at once.
@@ -159,6 +159,24 @@ class LoadBalancer:
         self._assigned_flows: Dict[str, int] = defaultdict(int)
         self._pending: Dict[str, int] = defaultdict(int)
         self.assignments = 0
+        self._assign_hist = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry) -> None:
+        """Publish dispatch metrics through an obs registry: assign
+        wall time (the dispatcher is on the first-packet hot path) and
+        the live assignment totals."""
+        self._assign_hist = registry.histogram(
+            "balancer.assign_s",
+            "Wall-clock time to pick an element for a new flow",
+        )
+        registry.gauge(
+            "balancer.assignments", "Element assignments made so far"
+        ).set_function(lambda: self.assignments)
+        registry.gauge(
+            "balancer.flows_assigned", "Live flow-to-element assignments"
+        ).set_function(lambda: sum(self._assigned_flows.values()))
 
     def assign(
         self,
@@ -174,6 +192,18 @@ class LoadBalancer:
         """
         if not candidates:
             raise ValueError("no candidate service elements")
+        if self._assign_hist is None:
+            return self._assign(candidates, flow, user, granularity)
+        with self._assign_hist.time():
+            return self._assign(candidates, flow, user, granularity)
+
+    def _assign(
+        self,
+        candidates: Sequence[ElementLoad],
+        flow: FlowNineTuple,
+        user: Optional[str],
+        granularity: Granularity,
+    ) -> str:
         candidate_macs = {c.mac for c in candidates}
         for candidate in candidates:
             candidate.assigned_flows = self._assigned_flows[candidate.mac]

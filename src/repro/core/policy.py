@@ -145,13 +145,34 @@ class PolicyTable:
                 return self._policies.pop(index)
         return None
 
-    def lookup(self, flow: FlowNineTuple) -> Optional[Policy]:
-        """The winning policy for a flow, or None (-> default action)."""
-        for policy in self._policies:
+    def match(self, flow: FlowNineTuple) -> Tuple[Optional[Policy], int]:
+        """The winning policy (or None) plus the number of table rows
+        scanned to find it -- the controller feeds the scan count into
+        its ``controller.policy_lookup_scans`` histogram.
+
+        Side-effect-free: hit accounting is the caller's explicit
+        choice via :meth:`record_hit`.
+        """
+        for scanned, policy in enumerate(self._policies, start=1):
             if policy.selector.matches(flow):
-                policy.hits += 1
-                return policy
-        return None
+                return policy, scanned
+        return None, len(self._policies)
+
+    def lookup(self, flow: FlowNineTuple) -> Optional[Policy]:
+        """The winning policy for a flow, or None (-> default action).
+
+        Read-only: unlike the historical behavior, looking up a flow
+        no longer increments :attr:`Policy.hits`, so monitoring
+        consumers (``effective_action``, the WebUI) can probe freely.
+        Enforcement paths call :meth:`record_hit` when they act on the
+        match.
+        """
+        return self.match(flow)[0]
+
+    def record_hit(self, policy: Policy) -> None:
+        """Count one enforcement of ``policy`` (called by the
+        controller when it acts on a lookup result)."""
+        policy.hits += 1
 
     def effective_action(self, flow: FlowNineTuple) -> PolicyAction:
         policy = self.lookup(flow)

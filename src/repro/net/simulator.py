@@ -137,6 +137,19 @@ class Simulator:
         """Number of not-yet-cancelled events in the queue."""
         return sum(1 for event in self._queue if not event.cancelled)
 
+    def attach_metrics(self, registry) -> None:
+        """Publish kernel health through an obs registry (pull-mode
+        gauges; the event loop itself is untouched)."""
+        registry.gauge(
+            "sim.now_s", "Current simulated time",
+        ).set_function(lambda: self._now)
+        registry.gauge(
+            "sim.events_processed", "Events fired since construction",
+        ).set_function(lambda: self.events_processed)
+        registry.gauge(
+            "sim.pending_events", "Live events still queued",
+        ).set_function(self.pending)
+
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.6f} pending={self.pending()}>"
 

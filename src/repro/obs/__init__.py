@@ -1,0 +1,41 @@
+"""Unified observability layer: metrics registry + exporters.
+
+One :class:`MetricsRegistry` is threaded through the controller, the
+simulator, the switches, the load balancer and the baselines, so every
+run -- LiveSec or baseline -- reports through the same typed metrics
+and the same JSON/Prometheus exporters.  See ``README.md``
+("Observability") for the metric catalogue and ``DESIGN.md`` for the
+mapping back to the paper's sections.
+"""
+
+from repro.obs.export import (
+    format_snapshot,
+    from_json,
+    to_json,
+    to_prometheus_text,
+)
+from repro.obs.metrics import (
+    PERCENTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricKey,
+    MetricSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricKey",
+    "MetricSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PERCENTILES",
+    "format_snapshot",
+    "from_json",
+    "to_json",
+    "to_prometheus_text",
+]

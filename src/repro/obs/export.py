@@ -1,0 +1,215 @@
+"""Snapshot exporters: JSON (lossless round-trip), Prometheus text
+exposition, and the human-readable table the CLI prints.
+
+JSON is the machine interchange format -- ``from_json(to_json(s)) ==
+s`` exactly, including histogram reservoirs, so snapshots can be
+archived per run and merged across runs.  The Prometheus format
+renders counters/gauges natively and histograms as summaries with
+``quantile`` labels, ready for a textfile collector or a scrape
+endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricKey, MetricSnapshot, MetricsSnapshot
+
+__all__ = [
+    "format_snapshot",
+    "from_json",
+    "to_json",
+    "to_prometheus_text",
+]
+
+
+# ----------------------------------------------------------------------
+# JSON
+
+def to_json(snapshot: MetricsSnapshot, indent: Optional[int] = None) -> str:
+    """Serialize a snapshot to JSON (lossless; see :func:`from_json`)."""
+    payload = []
+    for metric in snapshot:
+        entry: Dict[str, object] = {
+            "kind": metric.kind,
+            "name": metric.name,
+            "labels": {k: v for k, v in metric.labels},
+            "help": metric.help,
+        }
+        if metric.kind == "histogram":
+            entry.update(
+                count=metric.count,
+                sum=metric.sum,
+                min=metric.min,
+                max=metric.max,
+                percentiles={str(p): v for p, v in metric.percentiles},
+                samples=list(metric.samples),
+            )
+        else:
+            entry["value"] = metric.value
+        payload.append(entry)
+    return json.dumps({"metrics": payload}, indent=indent)
+
+
+def from_json(text: str) -> MetricsSnapshot:
+    """Parse a snapshot serialized by :func:`to_json`."""
+    payload = json.loads(text)
+    metrics: Dict[MetricKey, MetricSnapshot] = {}
+    for entry in payload["metrics"]:
+        labels = tuple(sorted(
+            (str(k), str(v)) for k, v in entry.get("labels", {}).items()
+        ))
+        if entry["kind"] == "histogram":
+            metric = MetricSnapshot(
+                kind="histogram",
+                name=entry["name"],
+                labels=labels,
+                help=entry.get("help", ""),
+                count=int(entry["count"]),
+                sum=float(entry["sum"]),
+                min=float(entry["min"]),
+                max=float(entry["max"]),
+                percentiles=tuple(
+                    (float(p), float(v))
+                    for p, v in sorted(
+                        entry.get("percentiles", {}).items(),
+                        key=lambda item: float(item[0]),
+                    )
+                ),
+                samples=tuple(float(s) for s in entry.get("samples", ())),
+            )
+        else:
+            metric = MetricSnapshot(
+                kind=entry["kind"],
+                name=entry["name"],
+                labels=labels,
+                help=entry.get("help", ""),
+                value=float(entry["value"]),
+            )
+        metrics[metric.key] = metric
+    return MetricsSnapshot(metrics)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+
+def _prom_name(name: str, namespace: str) -> str:
+    sanitized = name.replace(".", "_").replace("-", "_")
+    return f"{namespace}_{sanitized}" if namespace else sanitized
+
+
+def _prom_labels(labels, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    rendered = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return f"{{{rendered}}}"
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(snapshot: MetricsSnapshot,
+                       namespace: str = "livesec") -> str:
+    """Render the snapshot in the Prometheus text exposition format.
+
+    Histograms are exported as summaries (pre-computed quantiles),
+    which matches what the registry actually stores.
+    """
+    lines: List[str] = []
+    seen_headers = set()
+    for metric in snapshot:
+        base = _prom_name(metric.name, namespace)
+        if metric.kind == "counter":
+            name = f"{base}_total"
+            if name not in seen_headers:
+                seen_headers.add(name)
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} counter")
+            lines.append(
+                f"{name}{_prom_labels(metric.labels)}"
+                f" {_prom_value(metric.value)}"
+            )
+        elif metric.kind == "gauge":
+            if base not in seen_headers:
+                seen_headers.add(base)
+                if metric.help:
+                    lines.append(f"# HELP {base} {metric.help}")
+                lines.append(f"# TYPE {base} gauge")
+            lines.append(
+                f"{base}{_prom_labels(metric.labels)}"
+                f" {_prom_value(metric.value)}"
+            )
+        else:  # histogram -> summary
+            if base not in seen_headers:
+                seen_headers.add(base)
+                if metric.help:
+                    lines.append(f"# HELP {base} {metric.help}")
+                lines.append(f"# TYPE {base} summary")
+            for p, value in metric.percentiles:
+                quantile = _prom_value(p / 100.0)
+                lines.append(
+                    f"{base}{_prom_labels(metric.labels, {'quantile': quantile})}"
+                    f" {_prom_value(value)}"
+                )
+            lines.append(
+                f"{base}_sum{_prom_labels(metric.labels)}"
+                f" {_prom_value(metric.sum)}"
+            )
+            lines.append(
+                f"{base}_count{_prom_labels(metric.labels)}"
+                f" {_prom_value(metric.count)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering (the CLI's `stats` output)
+
+def format_snapshot(snapshot: MetricsSnapshot, title: str = "") -> str:
+    """A terminal-friendly table of the snapshot, grouped by kind."""
+    counters = [m for m in snapshot if m.kind == "counter"]
+    gauges = [m for m in snapshot if m.kind == "gauge"]
+    histograms = [m for m in snapshot if m.kind == "histogram"]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if counters:
+        lines.append("counters:")
+        width = max(len(str(m.key)) for m in counters)
+        for metric in counters:
+            lines.append(f"  {str(metric.key):<{width}}  "
+                         f"{_prom_value(metric.value)}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(str(m.key)) for m in gauges)
+        for metric in gauges:
+            lines.append(f"  {str(metric.key):<{width}}  "
+                         f"{_prom_value(metric.value)}")
+    if histograms:
+        width = max(len(str(m.key)) for m in histograms)
+        width = max(width, len("histograms:") - 2)
+        lines.append(f"  {'histograms:':<{width}} {'count':>7}"
+                     f" {'mean':>11} {'p50':>11} {'p95':>11}"
+                     f" {'p99':>11} {'max':>11}")
+        for metric in histograms:
+            mean = metric.sum / metric.count if metric.count else 0.0
+            lines.append(
+                f"  {str(metric.key):<{width}} {metric.count:>7}"
+                f" {mean:>11.6g} {metric.quantile(50.0):>11.6g}"
+                f" {metric.quantile(95.0):>11.6g}"
+                f" {metric.quantile(99.0):>11.6g} {metric.max:>11.6g}"
+            )
+    return "\n".join(lines)

@@ -68,11 +68,43 @@ class OpenFlowSwitch(Node):
         self.packet_ins = 0
         self.packets_forwarded = 0
         self.packets_dropped = 0
+        self.metrics = None
         sim.every(
             EXPIRY_SWEEP_INTERVAL_S,
             self._sweep_expired,
             start=sim.now + EXPIRY_SWEEP_INTERVAL_S + (dpid % 13) * 1e-3,
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def attach_metrics(self, registry) -> None:
+        """Publish this datapath's state through an obs registry.
+
+        Pull-mode gauges keyed by dpid: nothing is added to the
+        per-frame fast path, the registry reads the live attributes at
+        snapshot time.
+        """
+        self.metrics = registry
+        labels = {"dpid": self.dpid}
+        registry.gauge(
+            "switch.flow_table_entries",
+            "Installed flow entries (table occupancy)", **labels,
+        ).set_function(lambda: len(self.table))
+        registry.gauge(
+            "switch.buffered_frames",
+            "Frames parked awaiting a controller verdict", **labels,
+        ).set_function(lambda: len(self._buffers))
+        registry.gauge(
+            "switch.packet_ins", "Frames punted to the controller", **labels,
+        ).set_function(lambda: self.packet_ins)
+        registry.gauge(
+            "switch.packets_forwarded", "Frames emitted by actions", **labels,
+        ).set_function(lambda: self.packets_forwarded)
+        registry.gauge(
+            "switch.packets_dropped",
+            "Frames dropped (drop entries, dead channel)", **labels,
+        ).set_function(lambda: self.packets_dropped)
 
     # ------------------------------------------------------------------
     # Data plane

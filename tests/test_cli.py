@@ -39,7 +39,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("campus", "throughput", "latency", "loadbalance",
-                        "scale"):
+                        "stats", "scale"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -68,6 +68,26 @@ class TestCommands:
                      "--seconds", "1.0"]) == 0
         out = capsys.readouterr().out
         assert "deviation:" in out
+
+    def test_stats_quick_prints_hot_path_histograms(self, capsys):
+        assert main(["stats", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "controller.packet_in_latency_s{kind=data}" in out
+        assert "controller.flow_setup_rules" in out
+        assert "p95" in out and "p99" in out
+
+    def test_stats_json_round_trips(self, capsys):
+        from repro.obs import from_json
+
+        assert main(["stats", "--quick", "--format", "json"]) == 0
+        snapshot = from_json(capsys.readouterr().out)
+        assert snapshot.get("controller.flows_installed").value >= 1
+
+    def test_stats_prometheus_format(self, capsys):
+        assert main(["stats", "--quick", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE livesec_controller_flows_installed_total counter" in out
+        assert 'livesec_controller_packet_in_latency_s{kind="data"' in out
 
     def test_campus_command_dumps_json(self, tmp_path, capsys):
         path = str(tmp_path / "db.json")

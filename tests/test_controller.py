@@ -241,6 +241,71 @@ class TestHostChurn:
         assert net.controller.nib.host_by_mac(host.mac) is not None
 
 
+class TestHostMobility:
+    def test_same_tick_roam_emits_move_not_join(self, small_net):
+        """Regression: a host roaming (e.g. wired -> wifi) within the
+        same sim tick it was first learned must emit HOST_MOVE, not a
+        second HOST_JOIN -- the old timestamp-based inference saw
+        first_seen == last_seen and mislabelled it."""
+        controller = small_net.controller
+        switches = small_net.topology.as_switches
+        mac, ip = "00:00:00:00:aa:01", "10.0.99.1"
+        controller._learn_host(mac, ip, switches[0].dpid, 99)
+        controller._learn_host(mac, ip, switches[1].dpid, 98)
+        moves = controller.log.query(kind=EventKind.HOST_MOVE)
+        assert [(e.data["dpid"], e.data["port"]) for e in moves] == [
+            (switches[1].dpid, 98)
+        ]
+        joins = [e for e in controller.log.query(kind=EventKind.HOST_JOIN)
+                 if e.data["mac"] == mac]
+        assert len(joins) == 1
+        record = controller.nib.host_by_mac(mac)
+        assert (record.dpid, record.port) == (switches[1].dpid, 98)
+
+    def test_refresh_at_same_port_is_not_a_move(self, small_net):
+        controller = small_net.controller
+        switch = small_net.topology.as_switches[0]
+        mac = "00:00:00:00:aa:02"
+        controller._learn_host(mac, "10.0.99.2", switch.dpid, 97)
+        controller._learn_host(mac, "10.0.99.2", switch.dpid, 97)
+        assert not controller.log.query(kind=EventKind.HOST_MOVE)
+
+
+class TestFlowStatsSubscription:
+    @staticmethod
+    def _poll_stats(net):
+        """Install a flow entry, then ask every switch for flow stats."""
+        flow = CbrUdpFlow(net.sim, net.host("h1_1"), GATEWAY_IP,
+                          rate_bps=5e6, duration_s=1.0)
+        flow.start()
+        net.run(2.0)
+        for dpid in list(net.controller.switches):
+            net.controller.request_flow_stats(dpid)
+        net.run(1.0)
+
+    def test_subscriber_receives_stats(self, small_net):
+        seen = []
+        small_net.controller.subscribe_flow_stats(seen.append)
+        self._poll_stats(small_net)
+        assert seen, "flow-stats replies should reach the subscriber"
+        assert all(hasattr(reply, "entries") for reply in seen)
+
+    def test_unsubscribe_stops_delivery_and_is_idempotent(self, small_net):
+        seen = []
+        unsubscribe = small_net.controller.subscribe_flow_stats(seen.append)
+        unsubscribe()
+        unsubscribe()  # second call must be a no-op
+        self._poll_stats(small_net)
+        assert seen == []
+
+    def test_legacy_listener_list_is_deprecated_but_works(self, small_net):
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            small_net.controller.flow_stats_listeners.append(seen.append)
+        self._poll_stats(small_net)
+        assert seen
+
+
 class TestMonitoring:
     def test_link_load_events_from_port_stats(self, small_net):
         flow = CbrUdpFlow(small_net.sim, small_net.host("h1_1"), GATEWAY_IP,

@@ -109,13 +109,36 @@ class TestTable:
         assert table.effective_action(flow()) is PolicyAction.ALLOW
         assert table.remove("p") is None
 
-    def test_hit_counter(self):
+    def test_lookup_is_side_effect_free(self):
         table = PolicyTable()
         table.add(Policy(name="p", selector=FlowSelector(),
                          action=PolicyAction.ALLOW))
         table.lookup(flow())
-        table.lookup(flow())
-        assert table.lookup(flow()).hits == 3
+        table.effective_action(flow())
+        assert table.lookup(flow()).hits == 0
+
+    def test_record_hit_counts_enforcements(self):
+        table = PolicyTable()
+        table.add(Policy(name="p", selector=FlowSelector(),
+                         action=PolicyAction.ALLOW))
+        policy = table.lookup(flow())
+        table.record_hit(policy)
+        table.record_hit(policy)
+        assert table.lookup(flow()).hits == 2
+
+    def test_match_reports_rows_scanned(self):
+        table = PolicyTable()
+        table.add(Policy(name="narrow", selector=FlowSelector(tp_dst=80),
+                         action=PolicyAction.ALLOW, priority=200))
+        table.add(Policy(name="wide", selector=FlowSelector(),
+                         action=PolicyAction.ALLOW, priority=100))
+        policy, scanned = table.match(flow())
+        assert policy.name == "narrow" and scanned == 1
+        policy, scanned = table.match(flow(tp_dst=22))
+        assert policy.name == "wide" and scanned == 2
+        table.remove("wide")
+        miss, scanned = table.match(flow(tp_dst=22))
+        assert miss is None and scanned == 1
 
     def test_version_bumps_on_change(self):
         table = PolicyTable()
