@@ -1,6 +1,6 @@
 # Convenience targets for the LiveSec reproduction.
 
-.PHONY: install test bench lint stats-smoke examples all
+.PHONY: install test bench lint stats-smoke chaos-smoke examples all
 
 install:
 	python setup.py develop
@@ -22,6 +22,11 @@ lint:
 
 stats-smoke:
 	PYTHONPATH=src python -m repro stats --quick
+
+# Seeded chaos run: one element crash with healthy peers; exits
+# non-zero unless every affected session failed over.
+chaos-smoke:
+	PYTHONPATH=src python -m repro chaos --seed 0 --assert-recovered
 
 examples:
 	python examples/quickstart.py

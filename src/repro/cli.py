@@ -11,6 +11,9 @@ without writing a script:
 * ``loadbalance`` -- per-element load shares under a chosen dispatcher,
 * ``stats``       -- run HTTP traffic and print the controller's
                      observability snapshot (text, JSON, or Prometheus),
+* ``chaos``       -- seeded fault-injection run (element crashes, optional
+                     OpenFlow-channel drops) scoring the controller's
+                     failure recovery,
 * ``scale``       -- build the paper-scale FIT deployment and print the
                      controller's view of it.
 """
@@ -223,6 +226,29 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import run_chaos_scenario
+
+    report = run_chaos_scenario(
+        seed=args.seed,
+        fail_mode=args.fail_mode,
+        crash=args.crash,
+        duration_s=args.duration,
+        channel_drop_rate=args.channel_drop_rate,
+    )
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if args.assert_recovered and report.unrecovered_sessions > 0:
+        print(f"FAIL: {report.unrecovered_sessions} session(s) left"
+              " unrecovered", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     net = build_livesec_network(
         topology="fit", policies=_ids_policies(),
@@ -282,6 +308,28 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", default="text",
                        choices=["text", "json", "prometheus"])
     stats.set_defaults(func=cmd_stats)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run scoring controller recovery",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (same seed => identical run)")
+    chaos.add_argument("--fail-mode", default="open",
+                       choices=["open", "closed"], dest="fail_mode",
+                       help="policy behavior when no healthy element remains")
+    chaos.add_argument("--crash", default="one", choices=["one", "all"],
+                       help="crash one IDS (peers absorb) or the whole fleet")
+    chaos.add_argument("--duration", type=float, default=12.0,
+                       help="simulated seconds to run")
+    chaos.add_argument("--channel-drop-rate", type=float, default=0.0,
+                       dest="channel_drop_rate",
+                       help="also drop this fraction of OpenFlow messages")
+    chaos.add_argument("--format", default="text", choices=["text", "json"])
+    chaos.add_argument("--assert-recovered", action="store_true",
+                       dest="assert_recovered",
+                       help="exit 1 if any session is left unrecovered")
+    chaos.set_defaults(func=cmd_chaos)
 
     scale = sub.add_parser("scale", help="paper-scale FIT deployment")
     scale.set_defaults(func=cmd_scale)

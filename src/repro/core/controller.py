@@ -20,6 +20,7 @@ the 4D/OpenFlow separation the paper builds on.
 
 from __future__ import annotations
 
+import itertools
 import warnings
 from dataclasses import dataclass, replace as dc_replace
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
@@ -29,7 +30,13 @@ from repro.core.directory import DirectoryProxy
 from repro.core.events import EventKind, EventLog
 from repro.core.loadbalance import LoadBalancer, make_dispatcher
 from repro.core.nib import HostRecord, NetworkInformationBase
-from repro.core.policy import Granularity, Policy, PolicyAction, PolicyTable
+from repro.core.policy import (
+    FailMode,
+    Granularity,
+    Policy,
+    PolicyAction,
+    PolicyTable,
+)
 from repro.core.routing import (
     RoutingError,
     RuleSpec,
@@ -53,6 +60,12 @@ REGISTRY_EXPIRY_INTERVAL_S = 1.0
 ANNOUNCE_REFRESH_INTERVAL_S = 60.0
 ANNOUNCE_MIN_GAP_S = 0.25
 DEFAULT_STATS_INTERVAL_S = 1.0
+# Reliable rule installation: every FlowMod is chased by a
+# BarrierRequest; a missing BarrierReply within the timeout re-sends
+# the install with the timeout doubled, up to the attempt cap.
+DEFAULT_INSTALL_TIMEOUT_S = 0.05
+INSTALL_MAX_ATTEMPTS = 5
+FAILOVER_OUTCOMES = ("recovered", "fail-open", "fail-closed", "torn-down")
 
 # Legacy diagnostic counter names, preserved verbatim by the
 # ``counters`` back-compat view (registry metric: ``controller.<name>``).
@@ -92,6 +105,17 @@ class CountersView(Mapping):
 
     def __repr__(self) -> str:
         return repr(dict(self))
+
+
+@dataclass
+class _PendingInstall:
+    """One barrier-acked rule install awaiting its BarrierReply."""
+
+    rule: RuleSpec
+    buffer_id: Optional[int]
+    attempt: int
+    timeout_s: float
+    timer: object  # cancellable simulator handle
 
 
 @dataclass
@@ -149,19 +173,28 @@ class LiveSecController(ControllerBase):
         on_no_element: str = "allow",
         lldp_enabled: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        element_timeout_s: Optional[float] = None,
+        install_timeout_s: float = DEFAULT_INSTALL_TIMEOUT_S,
     ):
         super().__init__(sim, lldp_enabled=lldp_enabled)
         if on_no_element not in ("allow", "drop"):
             raise ValueError(f"on_no_element must be allow|drop, got {on_no_element}")
         self.nib = NetworkInformationBase(host_timeout_s=host_timeout_s)
         self.policies = policies if policies is not None else PolicyTable()
-        self.registry = ServiceRegistry(secret=secret)
+        registry_kwargs = {}
+        if element_timeout_s is not None:
+            registry_kwargs["liveness_timeout_s"] = element_timeout_s
+        self.registry = ServiceRegistry(secret=secret, **registry_kwargs)
         self.balancer = LoadBalancer(make_dispatcher(dispatcher))
         self.sessions = SessionTable()
         self.directory = DirectoryProxy(self.nib)
         self.log = EventLog()
         self.idle_timeout_s = idle_timeout_s
         self.on_no_element = on_no_element
+        # Reliable-install state: barrier xid -> pending install.
+        self.install_timeout_s = install_timeout_s
+        self._pending_installs: Dict[int, _PendingInstall] = {}
+        self._barrier_xids = itertools.count(1)
         # Monitoring state.
         self._port_capacity: Dict[Tuple[int, int], float] = {}
         self._last_port_sample: Dict[Tuple[int, int], Tuple[int, float]] = {}
@@ -230,6 +263,31 @@ class LiveSecController(ControllerBase):
         registry.gauge(
             "controller.policies", "Rows in the global policy table"
         ).set_function(lambda: len(self.policies))
+        # Recovery-path metrics (chaos/robustness).
+        self._install_retries = registry.counter(
+            "controller.install_retries",
+            "Rule installs re-sent after a barrier-ack timeout",
+        )
+        self._install_failures = registry.counter(
+            "controller.install_failures",
+            "Rule installs abandoned after exhausting retries",
+        )
+        self._rules_resynced = registry.counter(
+            "controller.rules_resynced",
+            "Flow entries re-pushed to a switch on reconnect",
+        )
+        self._failover_counters = {
+            outcome: registry.counter(
+                "controller.failover",
+                "Sessions re-steered after an element went offline",
+                outcome=outcome,
+            )
+            for outcome in FAILOVER_OUTCOMES
+        }
+        registry.gauge(
+            "controller.installs_pending",
+            "Rule installs awaiting their barrier ack",
+        ).set_function(lambda: len(self._pending_installs))
 
     def _count(self, name: str, amount: int = 1) -> None:
         self._legacy_counters[name].inc(amount)
@@ -277,10 +335,42 @@ class LiveSecController(ControllerBase):
         self.nib.add_switch(switch.dpid, switch.name, switch.ports, self.sim.now)
         self.log.emit(self.sim.now, EventKind.SWITCH_JOIN,
                       dpid=switch.dpid, name=switch.name)
+        self._resync_switch(switch.dpid)
 
     def on_switch_leave(self, switch: SwitchHandle) -> None:
         self.nib.remove_switch(switch.dpid)
+        # Abort in-flight installs: retrying against a dead channel is
+        # pointless, and a reconnect resyncs the full session state.
+        stale = [
+            xid for xid, pending in self._pending_installs.items()
+            if pending.rule.dpid == switch.dpid
+        ]
+        for xid in stale:
+            self._pending_installs.pop(xid).timer.cancel()
         self.log.emit(self.sim.now, EventKind.SWITCH_LEAVE, dpid=switch.dpid)
+
+    def _resync_switch(self, dpid: int) -> None:
+        """Re-push this datapath's share of the session store.
+
+        A reconnecting switch's flow table may have lost entries (or
+        the whole switch rebooted): the session store is authoritative,
+        so every live session's rules for this dpid are reinstalled.
+        ADD semantics make this idempotent -- entries that survived are
+        replaced in place, with no FlowRemoved.  Stale datapath entries
+        for sessions the controller no longer tracks simply idle out.
+        """
+        resynced = 0
+        for session in self.sessions:
+            if session.blocked:
+                continue
+            for rule in session.rules:
+                if rule.dpid == dpid:
+                    self._install_rule(rule)
+                    resynced += 1
+        if resynced:
+            self._rules_resynced.inc(resynced)
+            self.log.emit(self.sim.now, EventKind.SWITCH_RESYNC,
+                          dpid=dpid, rules=resynced)
 
     def on_link_discovered(self, link: DiscoveredLink) -> None:
         pair_was_known = self.nib.link(link.src_dpid, link.dst_dpid) is not None
@@ -499,9 +589,13 @@ class LiveSecController(ControllerBase):
     def _handle_online_message(
         self, event: ofmsg.PacketIn, message: svcmsg.OnlineMessage
     ) -> None:
-        known_before = self.registry.is_element(message.element_mac)
+        # Capture the prior liveness *before* handle_online refreshes
+        # the record (which always leaves it online): an element
+        # returning from an expiry must re-log ELEMENT_ONLINE.
+        prior = self.registry.get(message.element_mac)
+        was_online = prior is not None and prior.online
         record = self.registry.handle_online(message, self.sim.now)
-        came_back = not known_before or not record.online
+        came_back = not was_online
         host = self._learn_host(
             mac=message.element_mac,
             ip=None,
@@ -717,9 +811,13 @@ class LiveSecController(ControllerBase):
             assert policy is not None
             resolved = self._resolve_chain(policy, flow, src)
             if resolved is None:
-                if self.on_no_element == "drop":
+                if self._effective_fail_mode(policy) is FailMode.CLOSED:
                     self._install_rule(drop_rule(flow, src))
                     self._count("flows_blocked")
+                    self.log.emit(
+                        self.sim.now, EventKind.FLOW_BLOCKED,
+                        user_mac=src.mac, dpid=src.dpid, policy=policy.name,
+                    )
                     return
                 self._count("no_element_fallback")
             else:
@@ -759,17 +857,25 @@ class LiveSecController(ControllerBase):
             element_macs.append(chosen)
         return waypoints, element_macs
 
-    def _install_session(
+    def _effective_fail_mode(self, policy: Optional[Policy]) -> FailMode:
+        """The fail mode governing a chained policy with no healthy
+        element: the policy's own, else inherited from the controller's
+        ``on_no_element`` default."""
+        if policy is not None and policy.fail_mode is not None:
+            return policy.fail_mode
+        return FailMode.CLOSED if self.on_no_element == "drop" else FailMode.OPEN
+
+    def _compute_session_rules(
         self,
-        event: ofmsg.PacketIn,
         flow: FlowNineTuple,
         src: HostRecord,
         dst: HostRecord,
         waypoints: List[HostRecord],
-        element_macs: Tuple[str, ...],
         policy: Optional[Policy],
-    ) -> None:
-        session_id = self.sessions.next_id()
+        session_id: int,
+    ) -> List[RuleSpec]:
+        """Both directions' flow entries for one session (rules[0] is
+        the forward ingress entry, the only one arming teardown)."""
         forward = compute_path_rules(
             self.nib, flow, src, dst, waypoints,
             idle_timeout=self.idle_timeout_s, cookie=session_id,
@@ -786,7 +892,22 @@ class LiveSecController(ControllerBase):
         # the reverse entries anyway, and a late reply packet simply
         # punts and re-forms the session from the other side).
         reverse[0] = dc_replace(reverse[0], send_flow_removed=False)
-        rules = forward + reverse
+        return forward + reverse
+
+    def _install_session(
+        self,
+        event: ofmsg.PacketIn,
+        flow: FlowNineTuple,
+        src: HostRecord,
+        dst: HostRecord,
+        waypoints: List[HostRecord],
+        element_macs: Tuple[str, ...],
+        policy: Optional[Policy],
+    ) -> None:
+        session_id = self.sessions.next_id()
+        rules = self._compute_session_rules(
+            flow, src, dst, waypoints, policy, session_id
+        )
         session = self.sessions.create(
             flow=flow,
             src_mac=src.mac,
@@ -803,7 +924,7 @@ class LiveSecController(ControllerBase):
         for rule in rules:
             buffer_id = (
                 event.buffer_id
-                if rule is forward[0] and rule.dpid == event.dpid
+                if rule is rules[0] and rule.dpid == event.dpid
                 else None
             )
             self._install_rule(rule, buffer_id=buffer_id)
@@ -839,7 +960,29 @@ class LiveSecController(ControllerBase):
                 return
 
     def _install_rule(self, rule: RuleSpec, buffer_id: Optional[int] = None) -> None:
+        """Barrier-acked reliable install.
+
+        The FlowMod is chased by a BarrierRequest; if the BarrierReply
+        does not arrive within the send timeout (channel drop, either
+        direction) the install is re-sent with the timeout doubled,
+        up to ``INSTALL_MAX_ATTEMPTS``.  Re-sending is idempotent: ADD
+        replaces an identical entry, and a retried ``buffer_id``
+        release pops nothing if the first copy already fired.
+        """
         if rule.dpid not in self.switches:
+            return
+        self._send_install(rule, buffer_id, attempt=1,
+                           timeout_s=self.install_timeout_s)
+
+    def _send_install(
+        self,
+        rule: RuleSpec,
+        buffer_id: Optional[int],
+        attempt: int,
+        timeout_s: float,
+    ) -> None:
+        handle = self.switches.get(rule.dpid)
+        if handle is None:
             return
         self.send_flow_mod(
             rule.dpid,
@@ -852,6 +995,35 @@ class LiveSecController(ControllerBase):
             cookie=rule.cookie,
             send_flow_removed=rule.send_flow_removed,
             buffer_id=buffer_id,
+        )
+        xid = next(self._barrier_xids)
+        handle.channel.to_switch(ofmsg.BarrierRequest(xid=xid))
+        timer = self.sim.schedule(timeout_s, self._install_timed_out, xid)
+        self._pending_installs[xid] = _PendingInstall(
+            rule=rule, buffer_id=buffer_id, attempt=attempt,
+            timeout_s=timeout_s, timer=timer,
+        )
+
+    def on_barrier_reply(self, dpid: int, xid: int) -> None:
+        pending = self._pending_installs.pop(xid, None)
+        if pending is not None:
+            pending.timer.cancel()
+
+    def _install_timed_out(self, xid: int) -> None:
+        pending = self._pending_installs.pop(xid, None)
+        if pending is None:
+            return
+        if (
+            pending.attempt >= INSTALL_MAX_ATTEMPTS
+            or pending.rule.dpid not in self.switches
+        ):
+            self._install_failures.inc()
+            return
+        self._install_retries.inc()
+        self._send_install(
+            pending.rule, pending.buffer_id,
+            attempt=pending.attempt + 1,
+            timeout_s=pending.timeout_s * 2,
         )
 
     # ==================================================================
@@ -936,11 +1108,103 @@ class LiveSecController(ControllerBase):
                 self.sim.now, EventKind.ELEMENT_OFFLINE, mac=record.mac,
                 service_type=record.service_type,
             )
-            orphaned = self.balancer.forget_element(record.mac)
-            if orphaned:
-                # Re-steer on next packet: kill the orphaned sessions.
-                for session in self.sessions.sessions_via_element(record.mac):
-                    self._teardown_session(session)
+            affected = [
+                session
+                for session in self.sessions.sessions_via_element(record.mac)
+                if not session.blocked
+            ]
+            self.balancer.forget_element(record.mac)
+            for session in affected:
+                self._failover_session(session, record.mac)
+
+    # ------------------------------------------------------------------
+    # Element failover
+
+    def _failover_session(self, session: Session, dead_mac: str) -> None:
+        """Re-steer a live session whose chain lost an element.
+
+        The chain is re-dispatched through the balancer over the
+        surviving elements; if no healthy element remains the policy's
+        fail mode decides: *open* routes the session directly
+        (uninspected), *closed* blocks it at the ingress."""
+        outcome = self._attempt_failover(session, dead_mac)
+        self._failover_counters[outcome].inc()
+        self.log.emit(
+            self.sim.now, EventKind.FLOW_FAILOVER,
+            session=session.session_id, dead_element=dead_mac,
+            outcome=outcome, user_mac=session.src_mac,
+        )
+
+    def _attempt_failover(self, session: Session, dead_mac: str) -> str:
+        src = self.nib.host_by_mac(session.src_mac)
+        dst = self.nib.host_by_mac(session.dst_mac)
+        policy = self.policies.get(session.policy_name)
+        # Free the whole chain's assignments before re-resolving:
+        # surviving chain members would otherwise be counted twice
+        # when the balancer assigns the replacement chain.
+        self.balancer.release(session.flow)
+        self.balancer.release(session.reverse_flow)
+        if src is None or dst is None or policy is None:
+            self._teardown_session(session)
+            return "torn-down"
+        resolved = self._resolve_chain(policy, session.flow, src)
+        if resolved is None:
+            if self._effective_fail_mode(policy) is FailMode.CLOSED:
+                self._install_rule(
+                    drop_rule(session.flow, src, cookie=session.session_id)
+                )
+                session.blocked = True
+                self._count("flows_blocked")
+                self.log.emit(
+                    self.sim.now, EventKind.FLOW_BLOCKED,
+                    user_mac=session.src_mac, dpid=src.dpid,
+                    policy=policy.name,
+                )
+                return "fail-closed"
+            waypoints: List[HostRecord] = []
+            element_macs: List[str] = []
+            outcome = "fail-open"
+        else:
+            waypoints, element_macs = resolved
+            outcome = "recovered"
+        try:
+            new_rules = self._compute_session_rules(
+                session.flow, src, dst, waypoints, policy, session.session_id
+            )
+        except RoutingError:
+            self._teardown_session(session)
+            return "torn-down"
+        self._replace_session_rules(session, new_rules)
+        session.element_macs = tuple(element_macs)
+        return outcome
+
+    def _replace_session_rules(
+        self, session: Session, new_rules: List[RuleSpec]
+    ) -> None:
+        """Swap a session's installed entries for a new set, in place.
+
+        New entries go in first: an old entry whose (dpid, match,
+        priority) is reused is *replaced* by the FlowMod ADD rather
+        than deleted -- critically this covers the ingress entry, whose
+        deletion would raise a FlowRemoved carrying the session cookie
+        and tear the session down mid-failover.  Old entries not
+        reused are deleted silently (only the ingress entry ever
+        carries ``send_flow_removed``, and it is always reused: same
+        flow, same ingress port, same priority)."""
+        new_keys = {(r.dpid, r.match, r.priority) for r in new_rules}
+        for rule in new_rules:
+            self._install_rule(rule)
+        for rule in session.rules:
+            if (rule.dpid, rule.match, rule.priority) in new_keys:
+                continue
+            if rule.dpid in self.switches:
+                self.send_flow_mod(
+                    rule.dpid,
+                    command=ofmsg.FlowMod.DELETE_STRICT,
+                    match=rule.match,
+                    priority=rule.priority,
+                )
+        session.rules = new_rules
 
     # ==================================================================
     # Monitoring (port-stats polling -> link-load events)

@@ -173,6 +173,7 @@ def build_livesec_network(
     host_timeout_s: float = 120.0,
     stats_interval_s: Optional[float] = 1.0,
     on_no_element: str = "allow",
+    element_timeout_s: Optional[float] = None,
     sim: Optional[Simulator] = None,
     **topology_kwargs,
 ) -> LiveSecNetwork:
@@ -204,6 +205,7 @@ def build_livesec_network(
         host_timeout_s=host_timeout_s,
         stats_interval_s=stats_interval_s,
         on_no_element=on_no_element,
+        element_timeout_s=element_timeout_s,
     )
     monitoring = MonitoringComponent(controller.log)
     network = LiveSecNetwork(

@@ -37,6 +37,9 @@ class EventKind:
     PROTOCOL_IDENTIFIED = "protocol-identified"
     LINK_LOAD = "link-load"
     POLICY_CHANGED = "policy-changed"
+    FLOW_FAILOVER = "flow-failover"
+    SWITCH_RESYNC = "switch-resync"
+    FAULT_INJECTED = "fault-injected"
 
 
 @dataclass(frozen=True)

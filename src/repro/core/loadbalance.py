@@ -50,17 +50,30 @@ class Dispatcher:
 
 
 class RoundRobinDispatcher(Dispatcher):
-    """The paper's "polling" method: strict rotation."""
+    """The paper's "polling" method: strict rotation.
+
+    The rotation cursor is the MAC of the last pick, not a numeric
+    index: an index taken modulo the *current* candidate count would
+    reshuffle which element "next" lands on whenever one element goes
+    offline, while the MAC cursor keeps rotating cleanly through the
+    survivors (the next pick is the first candidate strictly after the
+    cursor in MAC order, wrapping around).
+    """
 
     name = "polling"
 
     def __init__(self) -> None:
-        self._next = 0
+        self._last_mac: Optional[str] = None
 
     def pick(self, candidates, flow, user):
         ordered = sorted(candidates, key=lambda c: c.mac)
-        choice = ordered[self._next % len(ordered)]
-        self._next += 1
+        choice = ordered[0]
+        if self._last_mac is not None:
+            for candidate in ordered:
+                if candidate.mac > self._last_mac:
+                    choice = candidate
+                    break
+        self._last_mac = choice.mac
         return choice
 
 
@@ -233,11 +246,19 @@ class LoadBalancer:
     def release(self, flow: FlowNineTuple) -> Tuple[str, ...]:
         """A flow ended (FlowRemoved): free all its element
         assignments (one per chained service type).  Returns the
-        released element MACs, empty if the flow held none."""
+        released element MACs, empty if the flow held none.
+
+        Pending counters are released too: a flow torn down before its
+        element's next load report would otherwise leave ``_pending``
+        permanently inflated, biasing the queuing/minimum-load
+        dispatchers away from the element forever.
+        """
         macs = self._flow_assignment.pop(flow, [])
         for mac in macs:
             if self._assigned_flows[mac] > 0:
                 self._assigned_flows[mac] -= 1
+            if self._pending[mac] > 0:
+                self._pending[mac] -= 1
         return tuple(macs)
 
     def element_of(self, flow: FlowNineTuple) -> Optional[str]:

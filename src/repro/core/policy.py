@@ -37,6 +37,20 @@ class Granularity(Enum):
     USER = "user"
 
 
+class FailMode(Enum):
+    """What a CHAIN policy does when no healthy element remains.
+
+    ``OPEN`` keeps traffic flowing uninspected (availability over
+    inspection); ``CLOSED`` blocks the governed flows at their ingress
+    switch until an element returns (inspection over availability).
+    A policy without an explicit mode inherits the controller-wide
+    ``on_no_element`` default.
+    """
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+
 @dataclass(frozen=True)
 class FlowSelector:
     """A predicate over the 9-tuple.  ``None`` fields match anything.
@@ -102,6 +116,7 @@ class Policy:
     granularity: Granularity = Granularity.FLOW
     inspect_reply: bool = True
     priority: int = 100
+    fail_mode: Optional[FailMode] = None
     hits: int = 0
 
     def __post_init__(self) -> None:
@@ -110,6 +125,10 @@ class Policy:
         if self.action is not PolicyAction.CHAIN and self.service_chain:
             raise ValueError(
                 f"policy {self.name!r}: service_chain requires action=CHAIN"
+            )
+        if self.fail_mode is not None and self.action is not PolicyAction.CHAIN:
+            raise ValueError(
+                f"policy {self.name!r}: fail_mode requires action=CHAIN"
             )
 
 
@@ -137,6 +156,16 @@ class PolicyTable:
             key=lambda p: (-p.priority, -p.selector.specificity())
         )
         self.version += 1
+
+    def get(self, name: Optional[str]) -> Optional[Policy]:
+        """The policy registered under ``name``, or None (including for
+        ``name=None``, the default-routed sessions' policy label)."""
+        if name is None:
+            return None
+        for policy in self._policies:
+            if policy.name == name:
+                return policy
+        return None
 
     def remove(self, name: str) -> Optional[Policy]:
         for index, policy in enumerate(self._policies):

@@ -31,6 +31,7 @@ import json
 from typing import Dict
 
 from repro.core.policy import (
+    FailMode,
     FlowSelector,
     Granularity,
     Policy,
@@ -55,6 +56,10 @@ def table_to_dict(table: PolicyTable) -> Dict[str, object]:
                 "service_chain": list(policy.service_chain),
                 "granularity": policy.granularity.value,
                 "inspect_reply": policy.inspect_reply,
+                "fail_mode": (
+                    policy.fail_mode.value
+                    if policy.fail_mode is not None else None
+                ),
                 "selector": {
                     key: value
                     for key, value in dataclasses.asdict(
@@ -101,6 +106,10 @@ def table_from_dict(document: Dict[str, object]) -> PolicyTable:
                 granularity=Granularity(entry.get("granularity", "flow")),
                 inspect_reply=bool(entry.get("inspect_reply", True)),
                 priority=int(entry.get("priority", 100)),
+                fail_mode=(
+                    FailMode(entry["fail_mode"])
+                    if entry.get("fail_mode") is not None else None
+                ),
             )
         except (TypeError, ValueError) as exc:
             raise PolicyFormatError(

@@ -34,6 +34,8 @@ class ServiceElementRecord:
     active_flows: int = 0
     online: bool = True
     reports: int = 0
+    offline_count: int = 0  # liveness-expiry transitions survived
+    recovered_count: int = 0  # re-certifications after an expiry
 
 
 class CertificateError(ValueError):
@@ -89,6 +91,10 @@ class ServiceRegistry:
                 last_seen=now,
             )
             self.elements[message.element_mac] = record
+        if not record.online:
+            # Re-certification after a liveness expiry: the element is
+            # a dispatch candidate again from this report on.
+            record.recovered_count += 1
         record.service_type = message.service_type
         record.last_seen = now
         record.cpu = message.cpu
@@ -111,11 +117,19 @@ class ServiceRegistry:
     # Liveness and queries
 
     def expire(self, now: float) -> List[ServiceElementRecord]:
-        """Mark elements silent beyond the timeout as offline."""
+        """Mark elements silent beyond the timeout as offline.
+
+        An expired element is excluded from :meth:`candidates` until
+        its next valid online message re-certifies it (at which point
+        it returns as a dispatch candidate; the controller zeroes its
+        balancer pending state when it expires, so it comes back
+        unbiased).
+        """
         expired = []
         for record in self.elements.values():
             if record.online and now - record.last_seen > self.liveness_timeout_s:
                 record.online = False
+                record.offline_count += 1
                 expired.append(record)
         return expired
 

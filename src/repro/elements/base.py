@@ -69,6 +69,11 @@ class ServiceElement(Host):
         self.report_interval_s = report_interval_s
         self.bypass = bypass
         self.certificate: Optional[str] = None
+        # Fault state (driven by repro.faults): a failed element is a
+        # crashed VM (drops everything, daemon dead); a hung element is
+        # alive but unresponsive until ``_hung_until``.
+        self.failed = False
+        self._hung_until = 0.0
         # Engine state.
         self._busy_until = 0.0
         self._queue_bytes = 0
@@ -104,9 +109,54 @@ class ServiceElement(Host):
         self._daemon.cancel()
 
     # ------------------------------------------------------------------
+    # Fault injection (the VM's failure modes)
+
+    def fail(self) -> None:
+        """Crash the VM: daemon dies, every frame is dropped."""
+        self.failed = True
+        self._daemon.cancel()
+
+    def restart(self) -> None:
+        """Reboot a crashed VM: the daemon reports again (first report
+        after one interval) and the engine starts clean."""
+        if not self.failed:
+            return
+        self.failed = False
+        self._hung_until = 0.0
+        self._queue_bytes = 0
+        self._busy_until = self.sim.now
+        self._daemon = self.sim.every(
+            self.report_interval_s, self._send_online_message
+        )
+
+    def hang(self, duration_s: float) -> None:
+        """Freeze the VM for ``duration_s``: frames are dropped and no
+        online messages go out, then it resumes by itself (its daemon
+        keeps ticking, so the first post-hang report re-certifies it)."""
+        if duration_s <= 0:
+            raise ValueError(f"hang duration must be positive ({duration_s})")
+        self._hung_until = max(self._hung_until, self.sim.now + duration_s)
+
+    def set_report_interval(self, interval_s: float) -> None:
+        """Retune the daemon cadence (the slow-report fault stretches
+        it past the controller's liveness timeout)."""
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive ({interval_s})")
+        self.report_interval_s = interval_s
+        if not self.failed:
+            self._daemon.set_interval(interval_s)
+
+    @property
+    def hung(self) -> bool:
+        return self.sim.now < self._hung_until
+
+    # ------------------------------------------------------------------
     # Data path
 
     def receive(self, frame: Ethernet, in_port: int) -> None:
+        if self.failed or self.hung:
+            self.dropped_packets += 1
+            return
         if frame.ethertype == pkt.ETH_TYPE_ARP:
             super().receive(frame, in_port)
             return
@@ -163,6 +213,8 @@ class ServiceElement(Host):
         return cpu, memory, pps
 
     def _send_online_message(self) -> None:
+        if self.failed or self.hung:
+            return
         cpu, memory, pps = self.current_load()
         self._last_report_busy = self._busy_time_total
         self._last_report_packets = self.processed_packets

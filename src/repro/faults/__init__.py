@@ -1,0 +1,19 @@
+"""Deterministic fault injection for chaos-testing the controller.
+
+``FaultPlan`` declares seeded, clock-scheduled faults;
+``FaultInjector`` arms a plan against a built network and scores the
+controller's recovery; ``run_chaos_scenario`` is the canned end-to-end
+scenario behind ``python -m repro chaos`` and ``make chaos-smoke``.
+"""
+
+from repro.faults.injector import FaultInjector, FaultTargetError
+from repro.faults.plan import FaultPlan
+from repro.faults.scenarios import ChaosReport, run_chaos_scenario
+
+__all__ = [
+    "ChaosReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultTargetError",
+    "run_chaos_scenario",
+]

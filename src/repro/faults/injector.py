@@ -1,0 +1,328 @@
+"""The fault injector: arms a :class:`FaultPlan` against a live network.
+
+The injector resolves the plan's named targets (elements, switches,
+link endpoints) against a built :class:`LiveSecNetwork`, schedules
+every fault on the simulator clock, and measures the controller's
+recovery from the outside:
+
+* ``faults.injected{kind}`` -- injections performed;
+* ``faults.affected_sessions`` -- sessions steered through an element
+  at the moment the controller declared it offline;
+* ``faults.recovered_sessions`` / ``faults.failed_open_sessions`` /
+  ``faults.blocked_sessions`` / ``faults.torn_down_sessions`` --
+  failover outcomes for those sessions;
+* ``recovery.time_to_detect_s`` -- injection until the controller's
+  ELEMENT_OFFLINE event (liveness expiry latency);
+* ``recovery.time_to_recover_s`` -- injection until each affected
+  session's FLOW_FAILOVER resolution.
+
+Both histograms run on the *simulator* clock, so they measure the
+modelled detection/recovery latency, not host wall time.  Affected
+sessions are counted synchronously inside the ELEMENT_OFFLINE log
+emission -- i.e. after the registry expired the element but before the
+controller runs failover -- which is the only instant the "sessions at
+risk" set is well defined.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.events import EventKind, NetworkEvent
+from repro.faults.plan import (
+    ChannelChaos,
+    ElementCrash,
+    ElementHang,
+    ElementSlowReport,
+    FaultPlan,
+    LinkFlap,
+    SwitchDisconnect,
+)
+from repro.openflow.channel import ChannelFaults
+
+
+class FaultTargetError(ValueError):
+    """A plan names an element/switch/link the network does not have."""
+
+
+class FaultInjector:
+    """Schedules a plan's faults and scores the controller's recovery."""
+
+    def __init__(self, net, plan: FaultPlan):
+        self.net = net
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.armed = False
+        # Crash bookkeeping for detection/recovery latency, keyed by
+        # element MAC: when the fault went in, when it was detected.
+        self._injected_at: Dict[str, float] = {}
+        self._detected_at: Dict[str, float] = {}
+        registry = net.controller.metrics
+        self._injected = {
+            kind: registry.counter(
+                "faults.injected", "Faults injected by the chaos harness",
+                kind=kind,
+            )
+            for kind in (
+                "element-crash", "element-hang", "element-slow-report",
+                "element-restart", "switch-disconnect", "switch-reconnect",
+                "link-flap", "channel-chaos",
+            )
+        }
+        self._affected = registry.counter(
+            "faults.affected_sessions",
+            "Sessions steered through an element when it went offline",
+        )
+        self._outcomes = {
+            outcome: registry.counter(
+                "faults." + name,
+                f"Affected sessions whose failover ended {outcome!r}",
+            )
+            for outcome, name in (
+                ("recovered", "recovered_sessions"),
+                ("fail-open", "failed_open_sessions"),
+                ("fail-closed", "blocked_sessions"),
+                ("torn-down", "torn_down_sessions"),
+            )
+        }
+        sim_clock = lambda: net.sim.now  # noqa: E731
+        self._time_to_detect = registry.histogram(
+            "recovery.time_to_detect_s",
+            "Element crash until the controller's ELEMENT_OFFLINE",
+            clock=sim_clock,
+        )
+        self._time_to_recover = registry.histogram(
+            "recovery.time_to_recover_s",
+            "Element crash until each affected session's failover",
+            clock=sim_clock,
+        )
+        net.controller.log.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Target resolution
+
+    def _element(self, name: str):
+        for element in self.net.elements:
+            if element.name == name:
+                return element
+        raise FaultTargetError(f"no element named {name!r}")
+
+    def _switch(self, name: str):
+        for switch in self.net.topology.all_openflow_switches():
+            if switch.name == name:
+                return switch
+        raise FaultTargetError(f"no switch named {name!r}")
+
+    def _channel(self, switch_name: str):
+        switch = self._switch(switch_name)
+        channel = self.net.channels.get(switch.dpid)
+        if channel is None:
+            raise FaultTargetError(f"switch {switch_name!r} has no channel")
+        return channel
+
+    def _channels(self, selector: str) -> List:
+        if selector == "*":
+            return [self.net.channels[d] for d in sorted(self.net.channels)]
+        return [self._channel(selector)]
+
+    def _node(self, name: str):
+        for pool in (
+            self.net.topology.all_openflow_switches(),
+            self.net.topology.legacy,
+            self.net.topology.hosts,
+            self.net.elements,
+        ):
+            for node in pool:
+                if node.name == name:
+                    return node
+        raise FaultTargetError(f"no node named {name!r}")
+
+    def _link(self, name_a: str, name_b: str):
+        node_a = self._node(name_a)
+        node_b = self._node(name_b)
+        for port in node_a.ports.values():
+            link = port.link
+            if link is None:
+                continue
+            if link.other_end(port).node is node_b:
+                return link
+        raise FaultTargetError(f"no link between {name_a!r} and {name_b!r}")
+
+    # ------------------------------------------------------------------
+    # Arming
+
+    def arm(self) -> None:
+        """Resolve every target and schedule the plan's faults.
+
+        Targets are resolved *now* (missing ones raise immediately,
+        not mid-run); per-fault RNGs are derived from the plan seed in
+        list order, so determinism does not depend on firing order.
+        """
+        if self.armed:
+            raise RuntimeError("plan already armed")
+        self.armed = True
+        sim = self.net.sim
+        for fault in self.plan:
+            if isinstance(fault, ElementCrash):
+                element = self._element(fault.element)
+                sim.schedule_at(fault.at_s, self._crash_element,
+                                element, fault.restart_at_s)
+            elif isinstance(fault, ElementHang):
+                element = self._element(fault.element)
+                sim.schedule_at(fault.at_s, self._hang_element,
+                                element, fault.duration_s)
+            elif isinstance(fault, ElementSlowReport):
+                element = self._element(fault.element)
+                restore = (
+                    fault.restore_interval_s
+                    if fault.restore_interval_s is not None
+                    else element.report_interval_s
+                )
+                sim.schedule_at(fault.at_s, self._slow_element,
+                                element, fault.interval_s)
+                if fault.restore_at_s is not None:
+                    sim.schedule_at(fault.restore_at_s, self._slow_element,
+                                    element, restore)
+            elif isinstance(fault, SwitchDisconnect):
+                channel = self._channel(fault.switch)
+                sim.schedule_at(fault.at_s, self._disconnect_switch, channel)
+                if fault.reconnect_at_s is not None:
+                    sim.schedule_at(fault.reconnect_at_s,
+                                    self._reconnect_switch, channel)
+            elif isinstance(fault, LinkFlap):
+                link = self._link(fault.node_a, fault.node_b)
+                sim.schedule_at(fault.at_s, self._flap_link,
+                                link, fault, fault.down_s)
+            elif isinstance(fault, ChannelChaos):
+                channels = self._channels(fault.switch)
+                impairments = [
+                    ChannelFaults(
+                        rng=random.Random(self.rng.randrange(2 ** 32)),
+                        drop_rate=fault.drop_rate,
+                        duplicate_rate=fault.duplicate_rate,
+                        extra_delay_s=fault.extra_delay_s,
+                        directions=fault.directions,
+                    )
+                    for _ in channels
+                ]
+                sim.schedule_at(fault.at_s, self._impair_channels,
+                                channels, impairments, fault)
+                if fault.until_s is not None:
+                    sim.schedule_at(fault.until_s, self._clear_channels,
+                                    channels, impairments)
+            else:  # pragma: no cover - plan builders prevent this
+                raise TypeError(f"unknown fault {fault!r}")
+
+    # ------------------------------------------------------------------
+    # Fault actions
+
+    def _mark(self, kind: str, **data) -> None:
+        self._injected[kind].inc()
+        self.net.controller.log.emit(
+            self.net.sim.now, EventKind.FAULT_INJECTED, fault=kind, **data
+        )
+
+    def _crash_element(self, element, restart_at_s: Optional[float]) -> None:
+        element.fail()
+        self._injected_at[element.mac] = self.net.sim.now
+        self._mark("element-crash", element=element.name)
+        if restart_at_s is not None:
+            self.net.sim.schedule_at(restart_at_s,
+                                     self._restart_element, element)
+
+    def _restart_element(self, element) -> None:
+        element.restart()
+        self._injected_at.pop(element.mac, None)
+        self._detected_at.pop(element.mac, None)
+        self._mark("element-restart", element=element.name)
+
+    def _hang_element(self, element, duration_s: float) -> None:
+        element.hang(duration_s)
+        self._injected_at[element.mac] = self.net.sim.now
+        self._mark("element-hang", element=element.name,
+                   duration_s=duration_s)
+
+    def _slow_element(self, element, interval_s: float) -> None:
+        element.set_report_interval(interval_s)
+        self._injected_at.setdefault(element.mac, self.net.sim.now)
+        self._mark("element-slow-report", element=element.name,
+                   interval_s=interval_s)
+
+    def _disconnect_switch(self, channel) -> None:
+        channel.disconnect()
+        self._mark("switch-disconnect", dpid=channel.switch.dpid)
+
+    def _reconnect_switch(self, channel) -> None:
+        channel.connect()
+        self._mark("switch-reconnect", dpid=channel.switch.dpid)
+
+    def _flap_link(self, link, fault, down_s: float) -> None:
+        link.set_up(False)
+        self._mark("link-flap", node_a=fault.node_a, node_b=fault.node_b,
+                   down_s=down_s)
+        self.net.sim.schedule(down_s, link.set_up, True)
+
+    def _impair_channels(self, channels, impairments, fault) -> None:
+        for channel, impairment in zip(channels, impairments):
+            channel.inject_faults(impairment)
+        self._mark("channel-chaos", switch=fault.switch,
+                   drop_rate=fault.drop_rate,
+                   duplicate_rate=fault.duplicate_rate)
+
+    def _clear_channels(self, channels, impairments) -> None:
+        for channel, impairment in zip(channels, impairments):
+            # Clear only if our impairment is still the active one.
+            if channel.faults is impairment:
+                channel.inject_faults(None)
+
+    # ------------------------------------------------------------------
+    # Recovery scoring (event-log subscriber)
+
+    def _on_event(self, event: NetworkEvent) -> None:
+        if event.kind == EventKind.ELEMENT_OFFLINE:
+            mac = event.data.get("mac")
+            injected = self._injected_at.get(mac)
+            if injected is None:
+                return
+            self._detected_at[mac] = event.time
+            self._time_to_detect.observe(event.time - injected)
+            controller = self.net.controller
+            at_risk = [
+                session
+                for session in controller.sessions.sessions_via_element(mac)
+                if not session.blocked
+            ]
+            self._affected.inc(len(at_risk))
+        elif event.kind == EventKind.FLOW_FAILOVER:
+            dead = event.data.get("dead_element")
+            outcome = event.data.get("outcome")
+            counter = self._outcomes.get(outcome)
+            if counter is not None:
+                counter.inc()
+            injected = self._injected_at.get(dead)
+            if injected is not None:
+                self._time_to_recover.observe(event.time - injected)
+
+    # ------------------------------------------------------------------
+    # Results
+
+    def summary(self) -> dict:
+        """Injection and recovery totals (the chaos verdict)."""
+        affected = int(self._affected.value)
+        resolved = sum(int(c.value) for c in self._outcomes.values())
+        return {
+            "seed": self.plan.seed,
+            "faults_planned": len(self.plan),
+            "injected": {
+                kind: int(counter.value)
+                for kind, counter in self._injected.items()
+                if counter.value
+            },
+            "affected_sessions": affected,
+            "recovered_sessions": int(self._outcomes["recovered"].value),
+            "failed_open_sessions": int(self._outcomes["fail-open"].value),
+            "blocked_sessions": int(self._outcomes["fail-closed"].value),
+            "torn_down_sessions": int(self._outcomes["torn-down"].value),
+            "unrecovered_sessions": max(0, affected - resolved),
+        }

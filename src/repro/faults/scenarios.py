@@ -1,0 +1,218 @@
+"""Canned chaos scenarios: a seeded fault plan over a known deployment.
+
+:func:`run_chaos_scenario` is what ``python -m repro chaos``, the
+chaos benchmark, and ``make chaos-smoke`` all drive.  It builds the
+standard steered deployment (linear topology, an IDS chain policy, a
+small IDS fleet), starts long-running UDP sessions, crashes one or all
+elements mid-run, and reports how the controller's failure-recovery
+machinery fared -- including the determinism digest two same-seed runs
+must agree on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.deployment import build_livesec_network
+from repro.core.policy import (
+    FailMode,
+    FlowSelector,
+    Policy,
+    PolicyAction,
+    PolicyTable,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.workloads import CbrUdpFlow
+
+GATEWAY_IP = "10.255.255.254"
+CRASH_AT_S = 5.0
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one seeded chaos run."""
+
+    seed: int
+    fail_mode: str
+    crash: str
+    duration_s: float
+    injected: Dict[str, int]
+    affected_sessions: int
+    recovered_sessions: int
+    failed_open_sessions: int
+    blocked_sessions: int
+    torn_down_sessions: int
+    unrecovered_sessions: int
+    time_to_detect_s: Dict[str, float]
+    time_to_recover_s: Dict[str, float]
+    install_retries: int
+    install_failures: int
+    events: int
+    event_digest: str
+    event_lines: List[str] = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> dict:
+        data = {
+            key: getattr(self, key)
+            for key in (
+                "seed", "fail_mode", "crash", "duration_s", "injected",
+                "affected_sessions", "recovered_sessions",
+                "failed_open_sessions", "blocked_sessions",
+                "torn_down_sessions", "unrecovered_sessions",
+                "time_to_detect_s", "time_to_recover_s",
+                "install_retries", "install_failures",
+                "events", "event_digest",
+            )
+        }
+        return data
+
+    def render_text(self) -> str:
+        lines = [
+            f"chaos run: seed={self.seed} fail_mode={self.fail_mode}"
+            f" crash={self.crash} duration={self.duration_s:g}s",
+            f"  faults injected : {self.injected}",
+            f"  sessions        : affected={self.affected_sessions}"
+            f" recovered={self.recovered_sessions}"
+            f" fail-open={self.failed_open_sessions}"
+            f" blocked={self.blocked_sessions}"
+            f" torn-down={self.torn_down_sessions}"
+            f" unrecovered={self.unrecovered_sessions}",
+        ]
+        if self.time_to_detect_s:
+            lines.append(
+                "  time-to-detect  : "
+                f"mean={self.time_to_detect_s['mean']:.3f}s"
+                f" max={self.time_to_detect_s['max']:.3f}s"
+                f" (n={self.time_to_detect_s['count']:g})"
+            )
+        if self.time_to_recover_s:
+            lines.append(
+                "  time-to-recover : "
+                f"mean={self.time_to_recover_s['mean']:.3f}s"
+                f" max={self.time_to_recover_s['max']:.3f}s"
+                f" (n={self.time_to_recover_s['count']:g})"
+            )
+        lines.append(
+            f"  installs        : retries={self.install_retries}"
+            f" failures={self.install_failures}"
+        )
+        lines.append(
+            f"  event log       : {self.events} events,"
+            f" digest {self.event_digest[:16]}"
+        )
+        return "\n".join(lines)
+
+
+def _hist_summary(snapshot, name: str) -> Dict[str, float]:
+    metric = snapshot.get(name)
+    if metric is None or metric.count == 0:
+        return {}
+    return {
+        "count": float(metric.count),
+        "mean": metric.sum / metric.count,
+        "min": metric.min,
+        "max": metric.max,
+    }
+
+
+def chaos_policy_table(fail_mode: str) -> PolicyTable:
+    """The scenario's policy: everything to the gateway rides an IDS
+    chain, with the requested fail mode."""
+    table = PolicyTable()
+    table.add(Policy(
+        name="chaos-ids",
+        selector=FlowSelector(dst_ip=GATEWAY_IP),
+        action=PolicyAction.CHAIN,
+        service_chain=("ids",),
+        fail_mode=FailMode(fail_mode),
+    ))
+    return table
+
+
+def run_chaos_scenario(
+    seed: int = 0,
+    fail_mode: str = "open",
+    crash: str = "one",
+    duration_s: float = 12.0,
+    num_elements: int = 3,
+    num_hosts: int = 4,
+    channel_drop_rate: float = 0.0,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosReport:
+    """Build, fault, run, and score one chaos scenario.
+
+    ``crash='one'`` kills a single IDS at t=5s with healthy peers left
+    (every affected session must fail over); ``crash='all'`` kills the
+    whole fleet (the policy's fail mode decides what happens).  A
+    custom ``plan`` overrides the built-in crash schedule entirely.
+    """
+    if fail_mode not in ("open", "closed"):
+        raise ValueError(f"fail_mode must be open|closed (got {fail_mode})")
+    if crash not in ("one", "all"):
+        raise ValueError(f"crash must be one|all (got {crash})")
+    net = build_livesec_network(
+        topology="linear",
+        policies=chaos_policy_table(fail_mode),
+        elements=[("ids", num_elements)],
+        num_as=3,
+        hosts_per_as=max(1, (num_hosts + 2) // 3),
+        element_timeout_s=1.5,
+        dispatcher="polling",
+    )
+    if plan is None:
+        plan = FaultPlan(seed=seed)
+        targets = (
+            [net.elements[0].name] if crash == "one"
+            else [element.name for element in net.elements]
+        )
+        for name in targets:
+            plan.element_crash(CRASH_AT_S, name)
+        if channel_drop_rate > 0:
+            plan.channel_chaos(
+                2.0, "*", drop_rate=channel_drop_rate,
+                until_s=duration_s - 1.0,
+            )
+    injector = FaultInjector(net, plan)
+    injector.arm()
+    net.start()
+    hosts = [h for h in net.topology.hosts if h is not net.topology.gateway]
+    for host in hosts[:num_hosts]:
+        flow = CbrUdpFlow(
+            net.sim, host, GATEWAY_IP,
+            rate_bps=2e6, duration_s=duration_s,
+        )
+        flow.start()
+    net.run(duration_s)
+
+    summary = injector.summary()
+    snapshot = net.controller.metrics.snapshot()
+    counters = snapshot.counters()
+    event_lines = [str(event) for event in net.controller.log.all()]
+    digest = hashlib.sha256(
+        "\n".join(event_lines).encode()
+    ).hexdigest()
+    return ChaosReport(
+        seed=plan.seed,
+        fail_mode=fail_mode,
+        crash=crash,
+        duration_s=duration_s,
+        injected=summary["injected"],
+        affected_sessions=summary["affected_sessions"],
+        recovered_sessions=summary["recovered_sessions"],
+        failed_open_sessions=summary["failed_open_sessions"],
+        blocked_sessions=summary["blocked_sessions"],
+        torn_down_sessions=summary["torn_down_sessions"],
+        unrecovered_sessions=summary["unrecovered_sessions"],
+        time_to_detect_s=_hist_summary(snapshot, "recovery.time_to_detect_s"),
+        time_to_recover_s=_hist_summary(
+            snapshot, "recovery.time_to_recover_s"
+        ),
+        install_retries=int(counters.get("controller.install_retries", 0)),
+        install_failures=int(counters.get("controller.install_failures", 0)),
+        events=len(event_lines),
+        event_digest=digest,
+        event_lines=event_lines,
+    )

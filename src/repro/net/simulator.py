@@ -95,9 +95,12 @@ class Simulator:
         """Run ``callback(*args)`` periodically.
 
         The returned handle cancels the *next* occurrence (and thereby
-        the whole series).  ``start`` defaults to one interval from now.
-        ``jitter`` adds a fixed phase offset, useful to avoid thundering
-        herds of simultaneous periodic events.
+        the whole series), and supports ``set_interval()`` to retune
+        the period of a live series (the next occurrence is rescheduled
+        to one new interval from now).  ``start`` defaults to one
+        interval from now.  ``jitter`` adds a fixed phase offset,
+        useful to avoid thundering herds of simultaneous periodic
+        events.
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive (got {interval})")
@@ -173,7 +176,8 @@ class _PeriodicSeries:
             self.handle = self.sim.schedule(self.interval, self.fire)
 
     def handle_proxy(self) -> EventHandle:
-        """A handle whose ``cancel`` stops the whole periodic series."""
+        """A handle whose ``cancel`` stops the whole periodic series and
+        whose ``set_interval`` retunes a live series' period."""
         series = self
 
         class _SeriesHandle(EventHandle):
@@ -184,6 +188,21 @@ class _PeriodicSeries:
                 if series.handle is not None:
                     series.handle.cancel()
                 self.cancelled = True
+
+            def set_interval(self, interval: float) -> None:
+                """Change the series' period; the next occurrence moves
+                to one new interval from now (fault injection uses this
+                to stretch an element's report cadence mid-run)."""
+                if interval <= 0:
+                    raise ValueError(
+                        f"interval must be positive (got {interval})"
+                    )
+                series.interval = interval
+                if series.cancelled:
+                    return
+                if series.handle is not None:
+                    series.handle.cancel()
+                series.handle = series.sim.schedule(interval, series.fire)
 
         assert self.handle is not None
         proxy = _SeriesHandle(self.handle.time, self.handle.seq, self.fire, ())

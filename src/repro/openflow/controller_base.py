@@ -115,7 +115,9 @@ class ControllerBase:
             self.on_port_stats(message)
         elif isinstance(message, msg.FlowStatsReply):
             self.on_flow_stats(message)
-        elif isinstance(message, (msg.EchoReply, msg.BarrierReply)):
+        elif isinstance(message, msg.BarrierReply):
+            self.on_barrier_reply(dpid, message.xid)
+        elif isinstance(message, msg.EchoReply):
             pass
         else:
             raise TypeError(f"unhandled message from dpid {dpid}: {message!r}")
@@ -140,6 +142,10 @@ class ControllerBase:
 
     def on_flow_stats(self, event: msg.FlowStatsReply) -> None:
         """A flow-stats reply arrived."""
+
+    def on_barrier_reply(self, dpid: int, xid: int) -> None:
+        """A BarrierReply arrived: every message sent before the
+        matching BarrierRequest has been processed by the datapath."""
 
     def on_link_discovered(self, link: DiscoveredLink) -> None:
         """A new logical link was learned from LLDP."""

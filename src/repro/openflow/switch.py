@@ -31,6 +31,7 @@ from repro.openflow.flowtable import FlowEntry, FlowTable
 DEFAULT_FORWARDING_DELAY_S = 25e-6
 EXPIRY_SWEEP_INTERVAL_S = 1.0
 MAX_BUFFERED_FRAMES = 4096
+MAX_PENDING_REPLIES = 512
 
 
 def _last_emitting_index(actions: Tuple[Action, ...]) -> int:
@@ -65,6 +66,11 @@ class OpenFlowSwitch(Node):
         self.forwarding_delay_s = forwarding_delay_s
         self._buffers: "OrderedDict[int, Tuple[Ethernet, int]]" = OrderedDict()
         self._buffer_ids = itertools.count(1)
+        # State-bearing messages (FlowRemoved) raised while the channel
+        # is down are parked here and flushed on reconnect, so the
+        # controller's session store never silently diverges from the
+        # datapath across an outage.
+        self._pending_replies: list = []
         self.packet_ins = 0
         self.packets_forwarded = 0
         self.packets_dropped = 0
@@ -302,7 +308,21 @@ class OpenFlowSwitch(Node):
         )
 
     def _reply(self, message: msg.Message) -> None:
-        if self.channel is not None:
+        if self.channel is not None and self.channel.connected:
+            self.channel.to_controller(message)
+            return
+        # Channel down: keep FlowRemoved (bounded) for the reconnect
+        # flush; periodic stats replies are droppable, the controller
+        # simply polls again.
+        if isinstance(message, msg.FlowRemoved) and \
+                len(self._pending_replies) < MAX_PENDING_REPLIES:
+            self._pending_replies.append(message)
+
+    def on_channel_connected(self) -> None:
+        """Channel (re-)established: flush replies parked during the
+        outage (called by :meth:`SecureChannel.connect`)."""
+        pending, self._pending_replies = self._pending_replies, []
+        for message in pending:
             self.channel.to_controller(message)
 
     def features(self) -> msg.FeaturesReply:

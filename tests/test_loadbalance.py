@@ -56,6 +56,33 @@ class TestRoundRobin:
                  for i in range(6)]
         assert picks == ["e0", "e1", "e2", "e0", "e1", "e2"]
 
+    def test_rotation_stable_under_churn(self):
+        # The cursor is the last-picked MAC, not an index: removing an
+        # element must not reshuffle where "next" lands among the
+        # survivors.
+        dispatcher = RoundRobinDispatcher()
+        pool = candidates(3)
+        assert dispatcher.pick(pool, flow(1), None).mac == "e0"
+        assert dispatcher.pick(pool, flow(2), None).mac == "e1"
+        # e1 goes offline; rotation continues cleanly past the cursor.
+        shrunk = [c for c in pool if c.mac != "e1"]
+        picks = [dispatcher.pick(shrunk, flow(3 + i), None).mac
+                 for i in range(4)]
+        assert picks == ["e2", "e0", "e2", "e0"]
+
+    def test_cursor_survives_element_replacement(self):
+        dispatcher = RoundRobinDispatcher()
+        dispatcher.pick(candidates(3), flow(1), None)  # cursor at e0
+        # A whole new candidate set (e.g. after failover re-dispatch):
+        # the pick is the first MAC after the cursor, wrapping.
+        fresh = [
+            ElementLoad(mac=mac, reported_pps=0.0, reported_cpu=0.0,
+                        assigned_flows=0, pending=0)
+            for mac in ("a9", "e5")
+        ]
+        assert dispatcher.pick(fresh, flow(2), None).mac == "e5"
+        assert dispatcher.pick(fresh, flow(3), None).mac == "a9"
+
 
 class TestHash:
     def test_deterministic_per_flow(self):
@@ -182,6 +209,34 @@ class TestLoadBalancer:
         mac = balancer.element_of(flow(1))
         assert balancer._pending[mac] == 1
         balancer.on_load_report(mac)
+        assert balancer._pending[mac] == 0
+
+    def test_release_frees_pending_too(self):
+        # Regression: a flow torn down before the element's next load
+        # report used to leave _pending inflated forever, biasing the
+        # queuing/minload dispatchers away from the element.
+        balancer = LoadBalancer(LeastConnectionsDispatcher())
+        pool = candidates(2)
+        balancer.assign(pool, flow(1))
+        mac = balancer.element_of(flow(1))
+        assert balancer._pending[mac] == 1
+        balancer.release(flow(1))
+        assert balancer._pending[mac] == 0
+        # Short-lived flows churning on one element must not build a
+        # permanent bias: after the churn, both elements look equal.
+        for index in range(50):
+            balancer.assign(pool, flow(100 + index))
+            balancer.release(flow(100 + index))
+        assert balancer._pending["e0"] == 0
+        assert balancer._pending["e1"] == 0
+
+    def test_release_after_report_does_not_go_negative(self):
+        balancer = LoadBalancer(LeastConnectionsDispatcher())
+        pool = candidates(2)
+        balancer.assign(pool, flow(1))
+        mac = balancer.element_of(flow(1))
+        balancer.on_load_report(mac)  # pending already decayed to 0
+        balancer.release(flow(1))
         assert balancer._pending[mac] == 0
 
 

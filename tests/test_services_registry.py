@@ -80,6 +80,53 @@ class TestLiveness:
         assert record.online
         assert registry.online_elements("ids")
 
+    def test_expiry_and_recovery_counters(self, registry):
+        registry.handle_online(online(registry), now=0.0)
+        record = registry.get("e1")
+        assert record.offline_count == 0 and record.recovered_count == 0
+        registry.expire(now=3.0)
+        assert record.offline_count == 1 and record.recovered_count == 0
+        registry.handle_online(online(registry), now=4.0)
+        assert record.offline_count == 1 and record.recovered_count == 1
+        # A second expiry/revival cycle keeps counting; redundant expire
+        # sweeps in between must not inflate offline_count.
+        registry.expire(now=5.0)
+        registry.expire(now=7.0)
+        registry.expire(now=8.0)
+        assert record.offline_count == 2
+        registry.handle_online(online(registry), now=9.0)
+        assert record.recovered_count == 2
+
+    def test_online_reports_do_not_count_as_recovery(self, registry):
+        registry.handle_online(online(registry), now=0.0)
+        registry.handle_online(online(registry), now=1.0)
+        registry.handle_online(online(registry), now=2.0)
+        record = registry.get("e1")
+        assert record.reports == 3
+        assert record.recovered_count == 0
+
+    def test_revived_element_is_candidate_again_unbiased(self, registry):
+        registry.handle_online(online(registry, pps=500.0, flows=7), now=0.0)
+        registry.expire(now=3.0)
+        assert registry.candidates("ids") == []
+        registry.handle_online(online(registry, pps=120.0, flows=2), now=4.0)
+        loads = registry.candidates("ids")
+        assert [c.mac for c in loads] == ["e1"]
+        # The candidate view reflects the fresh report and starts with
+        # zero pending dispatches -- no bias carried over from before
+        # the expiry.
+        assert loads[0].reported_pps == 120.0
+        assert loads[0].assigned_flows == 2
+        assert loads[0].pending == 0
+
+    def test_expire_only_hits_silent_elements(self, registry):
+        registry.handle_online(online(registry, mac="e1"), now=0.0)
+        registry.handle_online(online(registry, mac="e2"), now=2.5)
+        expired = registry.expire(now=3.0)
+        assert [r.mac for r in expired] == ["e1"]
+        assert [r.mac for r in registry.online_elements("ids")] == ["e2"]
+        assert registry.get("e2").offline_count == 0
+
 
 class TestQueries:
     def test_candidates_by_type(self, registry):
