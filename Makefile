@@ -1,6 +1,7 @@
 # Convenience targets for the LiveSec reproduction.
 
-.PHONY: install test bench lint stats-smoke chaos-smoke examples all
+.PHONY: install test bench lint stats-smoke chaos-smoke \
+	chaos-determinism examples all
 
 install:
 	python setup.py develop
@@ -11,7 +12,8 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
-# ruff when available; otherwise at least a full-tree syntax check.
+# ruff when available; otherwise a full-tree syntax check plus the
+# stdlib-only unused-import checker (the part of ruff we rely on).
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
@@ -19,6 +21,7 @@ lint:
 		echo "ruff not installed; falling back to compileall"; \
 		python -m compileall -q src tests benchmarks; \
 	fi
+	python scripts/check_unused_imports.py src tests benchmarks
 
 stats-smoke:
 	PYTHONPATH=src python -m repro stats --quick
@@ -27,6 +30,19 @@ stats-smoke:
 # non-zero unless every affected session failed over.
 chaos-smoke:
 	PYTHONPATH=src python -m repro chaos --seed 0 --assert-recovered
+
+# The same seeded chaos run twice; the event-log digests must match
+# exactly or the simulation is no longer deterministic.
+chaos-determinism:
+	@PYTHONPATH=src python -m repro chaos --seed 0 | tee /tmp/chaos-a.txt
+	@PYTHONPATH=src python -m repro chaos --seed 0 | tee /tmp/chaos-b.txt
+	@a=$$(grep -o 'digest [0-9a-f]*' /tmp/chaos-a.txt); \
+	b=$$(grep -o 'digest [0-9a-f]*' /tmp/chaos-b.txt); \
+	if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+		echo "chaos digest mismatch: '$$a' vs '$$b'"; exit 1; \
+	else \
+		echo "chaos determinism OK ($$a)"; \
+	fi
 
 examples:
 	python examples/quickstart.py

@@ -13,7 +13,7 @@ dispatch with "normal" (many medium flows) traffic.
 
 import sys
 
-from repro.analysis import Sampler, format_table
+from repro.analysis import format_table
 from repro.core.loadbalance import load_deviation
 from repro.workloads import HttpFlow
 

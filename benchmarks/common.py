@@ -9,7 +9,7 @@ testbed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro import Policy, PolicyTable, build_livesec_network
 from repro.core.deployment import LiveSecNetwork

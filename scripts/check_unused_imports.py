@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Fail on unused imports, stdlib-only (the CI fallback when ruff is
+absent).
+
+An import is *used* if its bound name appears as a ``Name`` node
+anywhere else in the module, is re-exported via ``__all__``, or is an
+explicit ``x as x`` re-export (PEP 484 convention for public API
+modules).  ``from __future__`` imports, ``import *``, and imports
+guarded by ``if TYPE_CHECKING:`` (typically referenced only inside
+string annotations, which this checker does not parse) are skipped.
+
+Usage: python scripts/check_unused_imports.py DIR [DIR ...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def iter_sources(roots: List[str]) -> Iterator[Path]:
+    for root in roots:
+        path = Path(root)
+        if path.is_file():
+            yield path
+        else:
+            yield from sorted(path.rglob("*.py"))
+
+
+def bound_names(node: ast.stmt) -> Iterator[Tuple[str, bool]]:
+    """Yield (bound name, is_explicit_reexport) for one import node."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.asname is not None:
+                yield alias.asname, alias.asname == alias.name
+            else:
+                # ``import a.b.c`` binds the root package ``a``.
+                yield alias.name.partition(".")[0], False
+    elif isinstance(node, ast.ImportFrom):
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            yield name, alias.asname == alias.name
+
+
+def exported_names(tree: ast.Module) -> set:
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+            ):
+                for constant in ast.walk(node.value):
+                    if isinstance(constant, ast.Constant) and isinstance(
+                        constant.value, str
+                    ):
+                        names.add(constant.value)
+    return names
+
+
+def is_type_checking_guard(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def check_file(path: Path) -> List[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    skipped = set()
+    for node in ast.walk(tree):
+        if is_type_checking_guard(node):
+            for child in ast.walk(node):
+                skipped.add(id(child))
+    imports = []  # (lineno, name)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            if id(node) in skipped:
+                continue
+            for name, reexport in bound_names(node):
+                if not reexport:
+                    imports.append((node.lineno, name))
+    if not imports:
+        return []
+    used = {
+        node.id
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name)
+    }
+    used |= exported_names(tree)
+    return [
+        f"{path}:{lineno}: unused import {name!r}"
+        for lineno, name in imports
+        if name not in used
+    ]
+
+
+def main(argv: List[str]) -> int:
+    roots = argv or ["src", "tests", "benchmarks"]
+    problems: List[str] = []
+    for source in iter_sources(roots):
+        problems.extend(check_file(source))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} unused import(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

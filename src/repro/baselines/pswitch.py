@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.baselines.traditional import INSIDE_PORT, OUTSIDE_PORT, InlineMiddlebox
+from repro.baselines.traditional import INSIDE_PORT, InlineMiddlebox
 from repro.net.host import Host
 from repro.net.legacy import LegacySwitch
 from repro.net.node import Node, connect

@@ -10,7 +10,7 @@ never touches it, the "poor end-to-end security coverage" problem.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.elements.signatures import DEFAULT_IDS_RULES, IdsRule

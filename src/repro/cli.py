@@ -15,7 +15,9 @@ without writing a script:
                      OpenFlow-channel drops) scoring the controller's
                      failure recovery,
 * ``scale``       -- build the paper-scale FIT deployment and print the
-                     controller's view of it.
+                     controller's view of it,
+* ``apps``        -- list the controller's loaded apps with their bus
+                     subscriptions and per-app event counters.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro import Policy, PolicyTable, build_livesec_network
-from repro.analysis.ascii_charts import bar_chart, utilization_meter
+from repro.analysis.ascii_charts import bar_chart
 from repro.analysis.metrics import mbps
 from repro.core.policy import FlowSelector, PolicyAction
 from repro.core.visualization import render_snapshot
@@ -249,6 +251,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_apps(args: argparse.Namespace) -> int:
+    from repro.workloads import HttpFlow
+
+    net = build_livesec_network(
+        topology="linear", policies=_ids_policies(),
+        num_as=2, hosts_per_as=2,
+    )
+    net.add_element("ids", net.topology.as_switches[0])
+    net.start()
+    if not args.no_traffic:
+        # A short burst of traffic so the per-app counters show the
+        # dispatch paths actually taken, not a wall of zeros.
+        hosts = [
+            h for h in net.topology.hosts if h is not net.topology.gateway
+        ]
+        flows = [
+            HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=2e6,
+                     packet_size=1500).start(delay_s=offset * 0.05)
+            for offset, host in enumerate(hosts)
+        ]
+        net.run(1.5)
+        for flow in flows:
+            flow.stop()
+    descriptions = [app.describe() for app in net.controller.apps]
+    if args.format == "json":
+        import json
+
+        print(json.dumps(descriptions, indent=2))
+        return 0
+    for description in descriptions:
+        print(f"{description['name']}: {description['summary']}")
+        if description["subscriptions"]:
+            print("  subscriptions:")
+            for sub in description["subscriptions"]:
+                priority = (
+                    f"  (priority {sub['priority']})"
+                    if sub["priority"] else ""
+                )
+                print(f"    {sub['event']:<22} -> "
+                      f"{sub['handler']}{priority}")
+        if description["counters"]:
+            print("  events handled:")
+            for event, count in description["counters"].items():
+                print(f"    {event:<22} {count}")
+        print()
+    return 0
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     net = build_livesec_network(
         topology="fit", policies=_ids_policies(),
@@ -333,6 +383,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     scale = sub.add_parser("scale", help="paper-scale FIT deployment")
     scale.set_defaults(func=cmd_scale)
+
+    apps = sub.add_parser(
+        "apps",
+        help="list loaded controller apps, subscriptions and counters",
+    )
+    apps.add_argument("--format", default="text", choices=["text", "json"])
+    apps.add_argument("--no-traffic", action="store_true", dest="no_traffic",
+                      help="skip the warm-up traffic (counters stay zero)")
+    apps.set_defaults(func=cmd_apps)
     return parser
 
 

@@ -1,0 +1,30 @@
+"""NOX-style controller apps.
+
+Each app owns one concern of the LiveSec controller and communicates
+with the others over the event bus (:mod:`repro.core.bus`) and the
+shared state surfaces handed to it in its :class:`AppContext`.  The
+composition root (:class:`repro.core.controller.LiveSecController`)
+instantiates them in a fixed order, which -- together with the bus's
+deterministic dispatch -- keeps the fault-injection digests
+reproducible.
+"""
+
+from repro.core.apps.base import App, AppContext
+from repro.core.apps.host_tracker import HostTrackerApp
+from repro.core.apps.monitor import MonitorApp
+from repro.core.apps.policy_engine import PolicyDecision, PolicyEngineApp
+from repro.core.apps.service_directory import ServiceDirectoryApp
+from repro.core.apps.steering import SteeringApp
+from repro.core.apps.topology import TopologyApp
+
+__all__ = [
+    "App",
+    "AppContext",
+    "HostTrackerApp",
+    "TopologyApp",
+    "ServiceDirectoryApp",
+    "PolicyDecision",
+    "PolicyEngineApp",
+    "SteeringApp",
+    "MonitorApp",
+]

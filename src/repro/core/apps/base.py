@@ -1,0 +1,139 @@
+"""The app framework: shared context and the App base class.
+
+A LiveSec *app* is one cohesive slice of control logic (host tracking,
+steering, monitoring, ...) wired onto the controller's event bus.  The
+composition root constructs every app with an :class:`AppContext` --
+the shared-state surfaces (NIB, sessions, registry, policies, event
+log) plus the bus, the simulator, and the controller itself for the
+OpenFlow senders -- then calls :meth:`App.start` once wiring is
+complete so apps can register their periodic timers.
+
+Apps talk to each other two ways:
+
+* **events** for notifications (publish on the bus; subscribers react),
+* **peer calls** for request/response (``self.peer("host-tracker")``)
+  when the caller needs a return value, e.g. learning a host.
+
+Every app counts the events it handles in its own metric namespace
+(``app.<name>.events{event=...}``); the ``python -m repro apps``
+command renders those counters next to the subscription table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Type
+
+from repro.core.bus import EventBus, Subscription
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import LiveSecController
+
+
+@dataclass
+class AppContext:
+    """Everything an app may touch, handed over by the composition root.
+
+    The shared tables (``nib``, ``sessions``, ``registry``,
+    ``policies``) are the single source of truth between apps -- apps
+    never cache copies of each other's state.  ``count`` increments
+    one of the controller's legacy diagnostics counters by name.
+    """
+
+    sim: object
+    bus: EventBus
+    controller: "LiveSecController"
+    nib: object
+    policies: object
+    registry: object
+    balancer: object
+    sessions: object
+    directory: object
+    log: object
+    metrics: object
+    count: Callable[[str], None]
+
+
+class App:
+    """Base class for NOX-style controller apps.
+
+    Subclasses set :attr:`name`, wire their subscriptions in
+    ``__init__`` via :meth:`listen`, and register periodic work in
+    :meth:`start` (called by the composition root after every app is
+    constructed, in a fixed order -- timer registration order is part
+    of the deterministic dispatch contract).
+    """
+
+    name: str = "app"
+
+    def __init__(self, ctx: AppContext):
+        self.ctx = ctx
+        self._event_counters: Dict[str, object] = {}
+        self._subscriptions: List[Subscription] = []
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+
+    def listen(
+        self, event_type: Type, handler: Callable[[object], None],
+        priority: int = 0,
+    ) -> None:
+        """Subscribe ``handler`` to ``event_type`` on the bus, counting
+        every delivery in this app's metric namespace."""
+        event_name = event_type.__name__
+        counter = self.ctx.metrics.counter(
+            f"app.{self.name}.events",
+            f"Bus events handled by the {self.name!r} app",
+            event=event_name,
+        )
+        self._event_counters[event_name] = counter
+
+        def counted(event, _handler=handler, _counter=counter):
+            _counter.inc()
+            _handler(event)
+
+        counted.__name__ = getattr(handler, "__name__", "handler")
+        self.ctx.bus.subscribe(
+            event_type, counted, app=self.name, priority=priority
+        )
+
+    def peer(self, name: str) -> "App":
+        """Another app by name (request/response style coupling)."""
+        return self.ctx.controller.app(name)
+
+    def start(self) -> None:
+        """Register periodic timers; called once after wiring."""
+
+    # ------------------------------------------------------------------
+    # Introspection (the ``apps`` CLI command renders these)
+
+    def counters(self) -> Dict[str, int]:
+        """Per-event handled counts, by event type name."""
+        return {
+            event: int(counter.value)
+            for event, counter in sorted(self._event_counters.items())
+        }
+
+    def subscriptions(self) -> List[Subscription]:
+        """This app's subscription edges, in dispatch order."""
+        return [
+            sub for sub in self.ctx.bus.subscriptions()
+            if sub.app == self.name
+        ]
+
+    def describe(self) -> dict:
+        """One JSON-friendly overview row for the ``apps`` command."""
+        doc = (self.__doc__ or "").strip().splitlines()
+        return {
+            "name": self.name,
+            "summary": doc[0] if doc else "",
+            "subscriptions": [
+                {
+                    "event": sub.event,
+                    "handler": sub.handler,
+                    "priority": sub.priority,
+                }
+                for sub in self.subscriptions()
+            ],
+            "counters": self.counters(),
+        }

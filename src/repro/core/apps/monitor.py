@@ -1,0 +1,96 @@
+"""Monitoring: stats polling, link-load accounting, flow-stats fan-out.
+
+The read-only side of Section III.D: a periodic port-stats poll turns
+per-port byte counters into LINK_LOAD event-log lines (normalized
+against registered line rates), and flow-stats replies fan out to
+subscribed consumers (the flow-control service, dashboards) without
+the monitor interpreting them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.apps.base import App, AppContext
+from repro.core.bus import FlowStatsIn, PortStatsIn
+from repro.core.events import EventKind
+from repro.openflow import messages as ofmsg
+
+DEFAULT_STATS_INTERVAL_S = 1.0
+
+
+class MonitorApp(App):
+    """Polls switch statistics and publishes load observations."""
+
+    name = "monitor"
+
+    def __init__(
+        self, ctx: AppContext, stats_interval_s: Optional[float] = None
+    ):
+        super().__init__(ctx)
+        self.stats_interval_s = stats_interval_s
+        self._port_capacity: Dict[Tuple[int, int], float] = {}
+        self._last_port_sample: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        self._flow_stats_listeners: list = []
+        self.listen(PortStatsIn, self.on_port_stats)
+        self.listen(FlowStatsIn, self.on_flow_stats)
+
+    def start(self) -> None:
+        if self.stats_interval_s is not None:
+            self.ctx.sim.every(self.stats_interval_s, self.poll_stats)
+
+    # ------------------------------------------------------------------
+    # Port stats -> link load
+
+    def register_port_capacity(self, dpid: int, port: int, bps: float) -> None:
+        """Tell the monitor a port's line rate so it can normalize load."""
+        self._port_capacity[(dpid, port)] = bps
+
+    def poll_stats(self) -> None:
+        for dpid in list(self.ctx.controller.switches):
+            self.ctx.controller.request_port_stats(dpid)
+
+    def on_port_stats(self, event: PortStatsIn) -> None:
+        reply = event.message
+        now = self.ctx.sim.now
+        for port, stats in reply.stats.items():
+            key = (reply.dpid, port)
+            tx_bytes = int(stats["tx_bytes"])
+            previous = self._last_port_sample.get(key)
+            self._last_port_sample[key] = (tx_bytes, now)
+            if previous is None:
+                continue
+            prev_bytes, prev_time = previous
+            elapsed = now - prev_time
+            if elapsed <= 0:
+                continue
+            rate_bps = (tx_bytes - prev_bytes) * 8.0 / elapsed
+            capacity = self._port_capacity.get(key)
+            utilization = rate_bps / capacity if capacity else 0.0
+            if rate_bps > 0:
+                self.ctx.log.emit(
+                    now, EventKind.LINK_LOAD,
+                    dpid=reply.dpid, port=port,
+                    rate_bps=rate_bps, utilization=min(1.0, utilization),
+                )
+
+    # ------------------------------------------------------------------
+    # Flow stats fan-out
+
+    def subscribe_flow_stats(
+        self, callback: Callable[[ofmsg.FlowStatsReply], None]
+    ) -> Callable[[], None]:
+        """Register a flow-stats consumer; returns an unsubscriber."""
+        self._flow_stats_listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._flow_stats_listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def on_flow_stats(self, event: FlowStatsIn) -> None:
+        for listener in list(self._flow_stats_listeners):
+            listener(event.message)

@@ -1,0 +1,122 @@
+"""Policy decisions: lookup, chain resolution, fail-mode arbitration.
+
+A pure decision service (IV.A): given a first packet's nine-tuple and
+its ingress host, produce the verdict the steering app enforces --
+allow, drop, or steer through a resolved chain of service-element
+waypoints.  Separating *decision* from *enforcement* is what lets the
+failover path reuse exactly the same chain resolution the first-packet
+path uses (and is the PEPS-style layering the refactor is after).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.apps.base import App, AppContext
+from repro.core.nib import HostRecord
+from repro.core.policy import FailMode, Policy, PolicyAction
+from repro.net.packet import FlowNineTuple
+
+
+@dataclass
+class PolicyDecision:
+    """What to do with one first packet.
+
+    ``verdict`` is ``'allow'`` (install a plain two-hop session,
+    possibly with a resolved ``waypoints`` chain) or ``'block'``
+    (install an ingress drop).  ``policy_name`` labels the event-log
+    line; ``policy`` rides along for rule parameters (inspect_reply).
+    """
+
+    verdict: str  # "allow" | "block"
+    policy: Optional[Policy] = None
+    waypoints: List[HostRecord] = field(default_factory=list)
+    element_macs: Tuple[str, ...] = ()
+
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name if self.policy is not None else "default"
+
+
+class PolicyEngineApp(App):
+    """Resolves policies into enforceable decisions."""
+
+    name = "policy-engine"
+
+    def __init__(self, ctx: AppContext):
+        super().__init__(ctx)
+        self._policy_scan_hist = ctx.metrics.histogram(
+            "controller.policy_lookup_scans",
+            "Policy-table rows scanned per first-packet lookup",
+        )
+
+    # ------------------------------------------------------------------
+    # First-packet decision
+
+    def decide(self, flow: FlowNineTuple, src: HostRecord) -> PolicyDecision:
+        """The full first-packet pipeline: match, resolve, fail-mode."""
+        policy, scanned = self.ctx.policies.match(flow)
+        self._policy_scan_hist.observe(scanned)
+        if policy is not None:
+            # Hit accounting is the engine's call, not the lookup's:
+            # read-only consumers must not inflate hits.
+            self.ctx.policies.record_hit(policy)
+        action = (
+            policy.action if policy is not None
+            else self.ctx.policies.default_action
+        )
+        if action is PolicyAction.DROP:
+            return PolicyDecision(verdict="block", policy=policy)
+        if action is not PolicyAction.CHAIN:
+            return PolicyDecision(verdict="allow", policy=policy)
+        assert policy is not None
+        resolved = self.resolve_chain(policy, flow, src)
+        if resolved is None:
+            if self.effective_fail_mode(policy) is FailMode.CLOSED:
+                return PolicyDecision(verdict="block", policy=policy)
+            self.ctx.count("no_element_fallback")
+            return PolicyDecision(verdict="allow", policy=policy)
+        waypoints, element_macs = resolved
+        return PolicyDecision(
+            verdict="allow", policy=policy,
+            waypoints=waypoints, element_macs=tuple(element_macs),
+        )
+
+    # ------------------------------------------------------------------
+    # Chain resolution (shared with the failover path)
+
+    def resolve_chain(
+        self, policy: Policy, flow: FlowNineTuple, src: HostRecord
+    ) -> Optional[Tuple[List[HostRecord], List[str]]]:
+        """Pick one element per chained service type via the balancer."""
+        waypoints: List[HostRecord] = []
+        element_macs: List[str] = []
+        for service_type in policy.service_chain:
+            candidates = self.ctx.registry.candidates(service_type)
+            located = [
+                c for c in candidates
+                if self.ctx.nib.host_by_mac(c.mac) is not None
+            ]
+            if not located:
+                return None
+            chosen = self.ctx.balancer.assign(
+                located, flow,
+                user=src.mac,
+                granularity=policy.granularity,
+            )
+            record = self.ctx.nib.host_by_mac(chosen)
+            assert record is not None
+            waypoints.append(record)
+            element_macs.append(chosen)
+        return waypoints, element_macs
+
+    def effective_fail_mode(self, policy: Optional[Policy]) -> FailMode:
+        """The fail mode governing a chained policy with no healthy
+        element: the policy's own, else inherited from the controller's
+        ``on_no_element`` default."""
+        if policy is not None and policy.fail_mode is not None:
+            return policy.fail_mode
+        if self.ctx.controller.on_no_element == "drop":
+            return FailMode.CLOSED
+        return FailMode.OPEN

@@ -1,0 +1,520 @@
+"""Session steering: rule computation, install, failover, teardown.
+
+The enforcement half of interactive policy enforcement (IV.A): first
+packets become *sessions* -- both directions' flow entries computed
+over the NIB's logical full mesh, steered through the policy engine's
+resolved waypoints, and pushed through the batched install pipeline.
+The same app owns every way a session's rules change afterwards:
+idle-timeout teardown, ingress blocking on attack verdicts, element
+failover re-steering, switch-reconnect resync, and fabric-uplink-loss
+invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import List, Optional, Tuple
+
+from repro.core.apps.base import App, AppContext
+from repro.core.bus import (
+    BarrierReplyIn,
+    DataPacketIn,
+    ElementExpired,
+    FlowBlockRequested,
+    FlowRemovedIn,
+    HostExpired,
+    SourceBlockRequested,
+    SwitchJoined,
+    SwitchLeft,
+    UplinksLost,
+)
+from repro.core.events import EventKind
+from repro.core.nib import HostRecord
+from repro.core.policy import FailMode, Policy
+from repro.core.routing import (
+    RoutingError,
+    RuleSpec,
+    compute_path_rules,
+    drop_rule,
+    source_block_rule,
+)
+from repro.core.sessions import Session
+from repro.net.packet import FlowNineTuple, extract_nine_tuple
+from repro.openflow import messages as ofmsg
+from repro.openflow.actions import Output
+from repro.openflow.pipeline import InstallPipeline
+
+FAILOVER_OUTCOMES = ("recovered", "fail-open", "fail-closed", "torn-down")
+
+
+class SteeringApp(App):
+    """Turns first packets into installed, policy-steered sessions."""
+
+    name = "steering"
+
+    def __init__(
+        self,
+        ctx: AppContext,
+        install_timeout_s: float,
+        install_batching: bool = True,
+    ):
+        super().__init__(ctx)
+        self.pipeline = InstallPipeline(
+            ctx.controller,
+            timeout_s=install_timeout_s,
+            batching=install_batching,
+            metrics=ctx.metrics,
+        )
+        self._setup_metrics()
+        self.listen(DataPacketIn, self.on_data_packet)
+        self.listen(FlowRemovedIn, self.on_flow_removed)
+        self.listen(BarrierReplyIn, self.on_barrier_reply)
+        self.listen(SwitchJoined, self.on_switch_joined)
+        self.listen(SwitchLeft, self.on_switch_left)
+        self.listen(HostExpired, self.on_host_expired)
+        self.listen(ElementExpired, self.on_element_expired)
+        self.listen(UplinksLost, self.on_uplinks_lost)
+        self.listen(FlowBlockRequested, self.on_flow_block_requested)
+        self.listen(SourceBlockRequested, self.on_source_block_requested)
+
+    def _setup_metrics(self) -> None:
+        registry = self.ctx.metrics
+        self._flow_setup_rules_hist = registry.histogram(
+            "controller.flow_setup_rules",
+            "Flow entries installed per end-to-end session setup",
+        )
+        self._flow_setup_wall_hist = registry.histogram(
+            "controller.flow_setup_wall_s",
+            "Wall-clock time to compute and install one session",
+        )
+        # Session lifetime is a *simulated-time* span.
+        self._session_duration_hist = registry.histogram(
+            "controller.session_duration_s",
+            "Simulated lifetime of ended sessions",
+            clock=lambda: self.ctx.sim.now,
+        )
+        self._rules_resynced = registry.counter(
+            "controller.rules_resynced",
+            "Flow entries re-pushed to a switch on reconnect",
+        )
+        self._failover_counters = {
+            outcome: registry.counter(
+                "controller.failover",
+                "Sessions re-steered after an element went offline",
+                outcome=outcome,
+            )
+            for outcome in FAILOVER_OUTCOMES
+        }
+
+    # ==================================================================
+    # First packets -> sessions
+
+    def on_data_packet(self, event: DataPacketIn) -> None:
+        packet_in = event.packet_in
+        frame = packet_in.frame
+        host_tracker = self.peer("host-tracker")
+        periphery = host_tracker.is_periphery_port(
+            packet_in.dpid, packet_in.in_port
+        )
+        flow = extract_nine_tuple(frame)
+
+        if periphery is not True:
+            # A transit copy flooded through the legacy fabric, or a
+            # punt from a switch whose uplink is still undiscovered.
+            # Deliver locally if the destination sits on this switch,
+            # but never install state or learn locations from it.
+            self.ctx.count("transit_ignored")
+            dst = self.ctx.nib.host_by_mac(frame.dst)
+            if (
+                dst is not None
+                and dst.dpid == packet_in.dpid
+                and packet_in.buffer_id is not None
+            ):
+                self.ctx.controller.send_packet_out(
+                    packet_in.dpid, actions=(Output(dst.port),),
+                    buffer_id=packet_in.buffer_id,
+                )
+            return
+
+        existing = self.ctx.sessions.lookup(flow)
+        if existing is not None:
+            self._release_along_session(packet_in, existing)
+            return
+
+        # Orphaned mid-chain frame: its destination MAC is a service
+        # element's, i.e. it was rewritten by a (since torn down)
+        # steering chain and missed the element switch's entries.  It
+        # must neither teach us locations (its source MAC is the
+        # *original* sender, nowhere near this port) nor form a
+        # session (the real flow will re-punt at its true ingress and
+        # re-form; the transport retransmits the lost packet).
+        dst_record_early = self.ctx.nib.host_by_mac(frame.dst)
+        if (
+            dst_record_early is not None
+            and dst_record_early.is_element
+            and frame.src != dst_record_early.mac
+        ):
+            self.ctx.count("orphan_chain_frames")
+            return
+
+        # Learn-or-refresh: a packet from a periphery port is location
+        # evidence and liveness evidence at once.
+        src = host_tracker.learn_host(
+            frame.src, flow.nw_src, packet_in.dpid, packet_in.in_port
+        )
+        dst = self.ctx.nib.host_by_mac(frame.dst)
+        if dst is None:
+            # Destination location unknown: fall back to a periphery
+            # flood of this one packet; the session forms on a retry.
+            host_tracker.periphery_flood(
+                frame, exclude=(packet_in.dpid, packet_in.in_port)
+            )
+            return
+
+        decision = self.peer("policy-engine").decide(flow, src)
+        if decision.verdict == "block":
+            self._block_flow(flow, src, policy_name=decision.policy_name)
+            return
+
+        try:
+            with self._flow_setup_wall_hist.time():
+                self._install_session(
+                    packet_in, flow, src, dst,
+                    decision.waypoints, decision.element_macs,
+                    decision.policy,
+                )
+        except RoutingError:
+            # Topology discovery has not converged; deliver nothing and
+            # let the application retry.
+            self.ctx.count("routing_deferred")
+
+    def _compute_session_rules(
+        self,
+        flow: FlowNineTuple,
+        src: HostRecord,
+        dst: HostRecord,
+        waypoints: List[HostRecord],
+        policy: Optional[Policy],
+        session_id: int,
+    ) -> List[RuleSpec]:
+        """Both directions' flow entries for one session (rules[0] is
+        the forward ingress entry, the only one arming teardown)."""
+        forward = compute_path_rules(
+            self.ctx.nib, flow, src, dst, waypoints,
+            idle_timeout=self.ctx.controller.idle_timeout_s,
+            cookie=session_id,
+        )
+        inspect_reply = policy.inspect_reply if policy is not None else False
+        reverse_waypoints = list(reversed(waypoints)) if inspect_reply else []
+        reverse = compute_path_rules(
+            self.ctx.nib, flow.reversed(), dst, src, reverse_waypoints,
+            idle_timeout=self.ctx.controller.idle_timeout_s,
+            cookie=session_id,
+        )
+        # Only the *forward* ingress entry arms session teardown.  The
+        # reply direction of a one-way flow is legitimately idle; its
+        # expiry must not kill an active session (the teardown deletes
+        # the reverse entries anyway, and a late reply packet simply
+        # punts and re-forms the session from the other side).
+        reverse[0] = dc_replace(reverse[0], send_flow_removed=False)
+        return forward + reverse
+
+    def _install_session(
+        self,
+        packet_in: ofmsg.PacketIn,
+        flow: FlowNineTuple,
+        src: HostRecord,
+        dst: HostRecord,
+        waypoints: List[HostRecord],
+        element_macs: Tuple[str, ...],
+        policy: Optional[Policy],
+    ) -> None:
+        session_id = self.ctx.sessions.next_id()
+        rules = self._compute_session_rules(
+            flow, src, dst, waypoints, policy, session_id
+        )
+        session = self.ctx.sessions.create(
+            flow=flow,
+            src_mac=src.mac,
+            dst_mac=dst.mac,
+            policy_name=policy.name if policy else None,
+            element_macs=element_macs,
+            rules=rules,
+            now=self.ctx.sim.now,
+            session_id=session_id,
+        )
+        # "All above flow entries can be calculated and enforced
+        # simultaneously" -- the ingress FlowMod releases the buffered
+        # first packet through the freshly installed actions.
+        for rule in rules:
+            buffer_id = (
+                packet_in.buffer_id
+                if rule is rules[0] and rule.dpid == packet_in.dpid
+                else None
+            )
+            self.pipeline.install(rule, buffer_id=buffer_id)
+        self.ctx.count("flows_installed")
+        self._flow_setup_rules_hist.observe(len(rules))
+        self.ctx.log.emit(
+            self.ctx.sim.now, EventKind.FLOW_START,
+            session=session.session_id, user_mac=src.mac, dst_mac=dst.mac,
+            policy=policy.name if policy else "default",
+            rules=len(rules),
+        )
+        if element_macs:
+            self.ctx.log.emit(
+                self.ctx.sim.now, EventKind.FLOW_STEERED,
+                session=session.session_id,
+                elements=",".join(element_macs),
+            )
+
+    def _release_along_session(
+        self, packet_in: ofmsg.PacketIn, session: Session
+    ) -> None:
+        """A packet of an already-installed session was punted (it raced
+        the FlowMods): push it through the session's ingress actions."""
+        if session.blocked or packet_in.buffer_id is None:
+            return
+        for rule in session.rules:
+            if rule.dpid == packet_in.dpid and rule.match.matches(
+                packet_in.frame, packet_in.in_port
+            ):
+                self.ctx.controller.send_packet_out(
+                    packet_in.dpid, actions=rule.actions,
+                    buffer_id=packet_in.buffer_id,
+                )
+                return
+
+    # ==================================================================
+    # Blocking
+
+    def _block_flow(
+        self,
+        flow: FlowNineTuple,
+        src: HostRecord,
+        policy_name: str,
+        session: Optional[Session] = None,
+        attack: Optional[str] = None,
+    ) -> None:
+        """Install the ingress drop: the flow dies at the entrance."""
+        self.pipeline.install(drop_rule(
+            flow, src, cookie=session.session_id if session else 0,
+        ))
+        if session is not None:
+            session.blocked = True
+        self.ctx.count("flows_blocked")
+        data = dict(user_mac=src.mac, dpid=src.dpid)
+        if attack is not None:
+            data["attack"] = attack
+        else:
+            data["policy"] = policy_name
+        self.ctx.log.emit(self.ctx.sim.now, EventKind.FLOW_BLOCKED, **data)
+
+    def on_flow_block_requested(self, event: FlowBlockRequested) -> None:
+        self._block_flow(
+            event.flow, event.src, policy_name=event.policy,
+            session=event.session, attack=event.attack,
+        )
+
+    def on_source_block_requested(self, event: SourceBlockRequested) -> None:
+        self.pipeline.install(source_block_rule(event.mac, event.record))
+
+    # ==================================================================
+    # Teardown
+
+    def on_flow_removed(self, event: FlowRemovedIn) -> None:
+        message = event.message
+        session = self.ctx.sessions.by_id(message.cookie)
+        if session is None:
+            return
+        if message.packets > 0:
+            # The session carried traffic: both endpoints were alive
+            # until the idle timeout started counting (i.e. until
+            # idle_timeout before the removal, not until now).
+            active_until = (
+                self.ctx.sim.now - self.ctx.controller.idle_timeout_s
+            )
+            for mac in (session.src_mac, session.dst_mac):
+                record = self.ctx.nib.host_by_mac(mac)
+                if record is not None:
+                    record.last_seen = max(record.last_seen, active_until)
+        self.teardown_session(
+            session,
+            skip_rule=(message.dpid, message.match),
+            packets=message.packets,
+            bytes_=message.bytes,
+        )
+
+    def teardown_session(
+        self,
+        session: Session,
+        skip_rule: Optional[Tuple[int, object]] = None,
+        packets: int = 0,
+        bytes_: int = 0,
+    ) -> None:
+        controller = self.ctx.controller
+        for rule in session.rules:
+            if skip_rule is not None and (
+                rule.dpid == skip_rule[0] and rule.match == skip_rule[1]
+            ):
+                continue
+            if rule.dpid in controller.switches:
+                controller.send_flow_mod(
+                    rule.dpid,
+                    command=ofmsg.FlowMod.DELETE_STRICT,
+                    match=rule.match,
+                    priority=rule.priority,
+                )
+        self.ctx.balancer.release(session.flow)
+        self.ctx.balancer.release(session.reverse_flow)
+        self.ctx.sessions.end(session)
+        self._session_duration_hist.observe(
+            self.ctx.sim.now - session.created_at
+        )
+        self.ctx.log.emit(
+            self.ctx.sim.now, EventKind.FLOW_END,
+            session=session.session_id, user_mac=session.src_mac,
+            packets=packets, bytes=bytes_,
+            duration=self.ctx.sim.now - session.created_at,
+        )
+
+    def on_host_expired(self, event: HostExpired) -> None:
+        for session in self.ctx.sessions.sessions_of_user(event.record.mac):
+            self.teardown_session(session)
+
+    def on_uplinks_lost(self, event: UplinksLost) -> None:
+        for dpid in event.dpids:
+            for session in list(self.ctx.sessions):
+                if any(rule.dpid == dpid for rule in session.rules):
+                    self.teardown_session(session)
+
+    # ==================================================================
+    # Switch lifecycle: resync and install-abort
+
+    def on_switch_joined(self, event: SwitchJoined) -> None:
+        """Re-push this datapath's share of the session store.
+
+        A reconnecting switch's flow table may have lost entries (or
+        the whole switch rebooted): the session store is authoritative,
+        so every live session's rules for this dpid are reinstalled.
+        ADD semantics make this idempotent -- entries that survived are
+        replaced in place, with no FlowRemoved.  Stale datapath entries
+        for sessions the controller no longer tracks simply idle out.
+        """
+        dpid = event.handle.dpid
+        resynced = 0
+        for session in self.ctx.sessions:
+            if session.blocked:
+                continue
+            for rule in session.rules:
+                if rule.dpid == dpid:
+                    self.pipeline.install(rule)
+                    resynced += 1
+        if resynced:
+            self._rules_resynced.inc(resynced)
+            self.ctx.log.emit(self.ctx.sim.now, EventKind.SWITCH_RESYNC,
+                              dpid=dpid, rules=resynced)
+
+    def on_switch_left(self, event: SwitchLeft) -> None:
+        # Abort in-flight installs: retrying against a dead channel is
+        # pointless, and a reconnect resyncs the full session state.
+        self.pipeline.abort_datapath(event.handle.dpid)
+
+    def on_barrier_reply(self, event: BarrierReplyIn) -> None:
+        self.pipeline.on_barrier_reply(event.dpid, event.xid)
+
+    # ==================================================================
+    # Element failover
+
+    def on_element_expired(self, event: ElementExpired) -> None:
+        affected = [
+            session
+            for session in self.ctx.sessions.sessions_via_element(
+                event.record.mac
+            )
+            if not session.blocked
+        ]
+        for session in affected:
+            self._failover_session(session, event.record.mac)
+
+    def _failover_session(self, session: Session, dead_mac: str) -> None:
+        """Re-steer a live session whose chain lost an element.
+
+        The chain is re-dispatched through the balancer over the
+        surviving elements; if no healthy element remains the policy's
+        fail mode decides: *open* routes the session directly
+        (uninspected), *closed* blocks it at the ingress."""
+        outcome = self._attempt_failover(session, dead_mac)
+        self._failover_counters[outcome].inc()
+        self.ctx.log.emit(
+            self.ctx.sim.now, EventKind.FLOW_FAILOVER,
+            session=session.session_id, dead_element=dead_mac,
+            outcome=outcome, user_mac=session.src_mac,
+        )
+
+    def _attempt_failover(self, session: Session, dead_mac: str) -> str:
+        engine = self.peer("policy-engine")
+        src = self.ctx.nib.host_by_mac(session.src_mac)
+        dst = self.ctx.nib.host_by_mac(session.dst_mac)
+        policy = self.ctx.policies.get(session.policy_name)
+        # Free the whole chain's assignments before re-resolving:
+        # surviving chain members would otherwise be counted twice
+        # when the balancer assigns the replacement chain.
+        self.ctx.balancer.release(session.flow)
+        self.ctx.balancer.release(session.reverse_flow)
+        if src is None or dst is None or policy is None:
+            self.teardown_session(session)
+            return "torn-down"
+        resolved = engine.resolve_chain(policy, session.flow, src)
+        if resolved is None:
+            if engine.effective_fail_mode(policy) is FailMode.CLOSED:
+                self._block_flow(
+                    session.flow, src, policy_name=policy.name,
+                    session=session,
+                )
+                return "fail-closed"
+            waypoints: List[HostRecord] = []
+            element_macs: List[str] = []
+            outcome = "fail-open"
+        else:
+            waypoints, element_macs = resolved
+            outcome = "recovered"
+        try:
+            new_rules = self._compute_session_rules(
+                session.flow, src, dst, waypoints, policy, session.session_id
+            )
+        except RoutingError:
+            self.teardown_session(session)
+            return "torn-down"
+        self._replace_session_rules(session, new_rules)
+        session.element_macs = tuple(element_macs)
+        return outcome
+
+    def _replace_session_rules(
+        self, session: Session, new_rules: List[RuleSpec]
+    ) -> None:
+        """Swap a session's installed entries for a new set, in place.
+
+        New entries go in first: an old entry whose (dpid, match,
+        priority) is reused is *replaced* by the FlowMod ADD rather
+        than deleted -- critically this covers the ingress entry, whose
+        deletion would raise a FlowRemoved carrying the session cookie
+        and tear the session down mid-failover.  Old entries not
+        reused are deleted silently (only the ingress entry ever
+        carries ``send_flow_removed``, and it is always reused: same
+        flow, same ingress port, same priority)."""
+        controller = self.ctx.controller
+        new_keys = {(r.dpid, r.match, r.priority) for r in new_rules}
+        for rule in new_rules:
+            self.pipeline.install(rule)
+        for rule in session.rules:
+            if (rule.dpid, rule.match, rule.priority) in new_keys:
+                continue
+            if rule.dpid in controller.switches:
+                controller.send_flow_mod(
+                    rule.dpid,
+                    command=ofmsg.FlowMod.DELETE_STRICT,
+                    match=rule.match,
+                    priority=rule.priority,
+                )
+        session.rules = new_rules

@@ -1,0 +1,94 @@
+"""Topology maintenance: switch membership and the logical link mesh.
+
+Keeps the NIB's switch and link tables in sync with what the
+controller framework reports (channel up/down, LLDP confirmations and
+timeouts), logs the corresponding events, and -- when link loss
+shrinks a switch's uplink set -- publishes :class:`UplinksLost` so the
+steering app can tear down the sessions forwarding into the dead path
+and the host tracker can re-teach the legacy fabric.
+"""
+
+from __future__ import annotations
+
+from repro.core.apps.base import App, AppContext
+from repro.core.bus import (
+    LinkDiscovered,
+    LinkTimedOut,
+    SwitchJoined,
+    SwitchLeft,
+    UplinksLost,
+)
+from repro.core.events import EventKind
+
+
+class TopologyApp(App):
+    """Mirrors switch joins/leaves and LLDP links into the NIB."""
+
+    name = "topology"
+
+    def __init__(self, ctx: AppContext):
+        super().__init__(ctx)
+        # Priority -10: the NIB must reflect the new topology before
+        # any other app (e.g. steering's resync) reacts to the event.
+        self.listen(SwitchJoined, self.on_switch_joined, priority=-10)
+        self.listen(SwitchLeft, self.on_switch_left, priority=-10)
+        self.listen(LinkDiscovered, self.on_link_discovered)
+        self.listen(LinkTimedOut, self.on_link_timed_out)
+
+    def on_switch_joined(self, event: SwitchJoined) -> None:
+        handle = event.handle
+        self.ctx.nib.add_switch(
+            handle.dpid, handle.name, handle.ports, self.ctx.sim.now
+        )
+        self.ctx.log.emit(self.ctx.sim.now, EventKind.SWITCH_JOIN,
+                          dpid=handle.dpid, name=handle.name)
+
+    def on_switch_left(self, event: SwitchLeft) -> None:
+        self.ctx.nib.remove_switch(event.handle.dpid)
+        self.ctx.log.emit(self.ctx.sim.now, EventKind.SWITCH_LEAVE,
+                          dpid=event.handle.dpid)
+
+    def on_link_discovered(self, event: LinkDiscovered) -> None:
+        link = event.link
+        pair_was_known = (
+            self.ctx.nib.link(link.src_dpid, link.dst_dpid) is not None
+        )
+        self.ctx.nib.learn_link(
+            link.src_dpid, link.src_port, link.dst_dpid, link.dst_port,
+            self.ctx.sim.now,
+        )
+        if not pair_was_known:
+            self.ctx.log.emit(
+                self.ctx.sim.now, EventKind.LINK_UP,
+                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
+            )
+
+    def on_link_timed_out(self, event: LinkTimedOut) -> None:
+        link = event.link
+        # Dual-homed pairs have several port pairs; rebuild the NIB's
+        # link table from what discovery still confirms, and only
+        # report the logical link down when no path remains.
+        before = {
+            dpid: self.ctx.nib.uplink_ports(dpid)
+            for dpid in self.ctx.nib.switches
+        }
+        self.ctx.nib.rebuild_links(
+            self.ctx.controller.known_links(), self.ctx.sim.now
+        )
+        if self.ctx.nib.link(link.src_dpid, link.dst_dpid) is None:
+            self.ctx.log.emit(
+                self.ctx.sim.now, EventKind.LINK_DOWN,
+                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
+            )
+        # Fabric failover: a switch whose uplink set shrank may have
+        # live sessions forwarding into the dead path -- and those
+        # entries never idle out, because the (blackholed) traffic
+        # keeps refreshing them.  Publish the loss; steering tears the
+        # affected sessions down, then the host tracker re-announces.
+        lost = tuple(
+            dpid for dpid, old_uplinks in before.items()
+            if (new := self.ctx.nib.uplink_ports(dpid))
+            and old_uplinks - new
+        )
+        if lost:
+            self.ctx.bus.publish(UplinksLost(dpids=lost))

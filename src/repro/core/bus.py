@@ -1,0 +1,297 @@
+"""The controller's deterministic in-process event bus.
+
+The LiveSec controller is decomposed into NOX-style *apps*
+(:mod:`repro.core.apps`) that communicate over this bus: the
+composition root (:class:`repro.core.controller.LiveSecController`)
+classifies raw OpenFlow input into the typed events below and
+publishes them; apps subscribe to the types they care about and react
+-- reading and writing the shared state surfaces (NIB, session table,
+service registry, policy table) and publishing follow-up events of
+their own.
+
+Determinism is the design constraint: the same input sequence must
+produce the same dispatch sequence, because the fault-injection
+harness scores runs by a sha256 digest of the event log.  Dispatch is
+therefore *synchronous and depth-first* (publishing from inside a
+handler runs the nested handlers to completion before the outer
+publish returns, exactly like the direct method calls the bus
+replaced), and subscriber order is explicit: handlers fire ordered by
+``(priority, subscription sequence)``, both of which are fixed at
+wiring time.  No wall-clock, no hashing of ids, no set iteration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+__all__ = [
+    "EventBus",
+    "Subscription",
+    # Raw OpenFlow input, classified by the composition root.
+    "SwitchJoined",
+    "SwitchLeft",
+    "LinkDiscovered",
+    "LinkTimedOut",
+    "ArpIn",
+    "DhcpIn",
+    "ServiceFrameIn",
+    "DataPacketIn",
+    "FlowRemovedIn",
+    "PortStatsIn",
+    "FlowStatsIn",
+    "BarrierReplyIn",
+    # Domain events published by apps for other apps.
+    "HostExpired",
+    "ElementExpired",
+    "FlowBlockRequested",
+    "SourceBlockRequested",
+    "UplinksLost",
+]
+
+
+# ======================================================================
+# Typed events
+#
+# Events are plain frozen dataclasses: immutable envelopes around the
+# underlying protocol message or shared-state record.  ``eq=False``
+# keeps identity semantics (two PacketIns are never "the same event").
+
+
+@dataclass(frozen=True, eq=False)
+class SwitchJoined:
+    """A datapath connected (carries the controller's SwitchHandle)."""
+
+    handle: object
+
+
+@dataclass(frozen=True, eq=False)
+class SwitchLeft:
+    """A datapath disconnected."""
+
+    handle: object
+
+
+@dataclass(frozen=True, eq=False)
+class LinkDiscovered:
+    """LLDP confirmed a new unidirectional switch-to-switch link."""
+
+    link: object
+
+
+@dataclass(frozen=True, eq=False)
+class LinkTimedOut:
+    """A previously confirmed link stopped being re-confirmed."""
+
+    link: object
+
+
+@dataclass(frozen=True, eq=False)
+class ArpIn:
+    """An ARP frame was punted to the controller."""
+
+    packet_in: object
+    arp: object
+
+
+@dataclass(frozen=True, eq=False)
+class DhcpIn:
+    """A DHCP exchange was punted to the controller."""
+
+    packet_in: object
+    dhcp: object
+
+
+@dataclass(frozen=True, eq=False)
+class ServiceFrameIn:
+    """A service-element wire message (LIVESEC UDP) was punted."""
+
+    packet_in: object
+    payload: bytes
+
+
+@dataclass(frozen=True, eq=False)
+class DataPacketIn:
+    """A data-plane first packet was punted (everything else)."""
+
+    packet_in: object
+
+
+@dataclass(frozen=True, eq=False)
+class FlowRemovedIn:
+    """A flow entry expired or was deleted on a datapath."""
+
+    message: object
+
+
+@dataclass(frozen=True, eq=False)
+class PortStatsIn:
+    """A PortStatsReply arrived."""
+
+    message: object
+
+
+@dataclass(frozen=True, eq=False)
+class FlowStatsIn:
+    """A FlowStatsReply arrived."""
+
+    message: object
+
+
+@dataclass(frozen=True, eq=False)
+class BarrierReplyIn:
+    """A BarrierReply arrived for the given xid."""
+
+    dpid: int
+    xid: int
+
+
+@dataclass(frozen=True, eq=False)
+class HostExpired:
+    """The host tracker expired a silent host (carries its record)."""
+
+    record: object
+
+
+@dataclass(frozen=True, eq=False)
+class ElementExpired:
+    """The service directory declared an element offline."""
+
+    record: object
+
+
+@dataclass(frozen=True, eq=False)
+class FlowBlockRequested:
+    """Some app wants this flow dropped at its ingress switch.
+
+    ``session`` is the affected session when one exists; ``policy``
+    names the policy (or attack) for the FLOW_BLOCKED event log line.
+    """
+
+    flow: object
+    src: object  # ingress HostRecord
+    session: Optional[object] = None
+    policy: str = "default"
+    attack: Optional[str] = None
+
+
+@dataclass(frozen=True, eq=False)
+class SourceBlockRequested:
+    """Some app wants every frame from this MAC dropped at its ingress."""
+
+    mac: str
+    record: object  # HostRecord locating the ingress
+
+
+@dataclass(frozen=True, eq=False)
+class UplinksLost:
+    """Switches lost fabric uplinks; sessions through them are dead."""
+
+    dpids: Tuple[int, ...]
+
+
+# ======================================================================
+# The bus
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One (event type -> handler) edge, for introspection."""
+
+    event: str
+    app: str
+    handler: str
+    priority: int
+
+
+class EventBus:
+    """Synchronous, deterministically ordered publish/subscribe.
+
+    Handlers for an event type fire in ``(priority, subscription
+    order)`` -- lower priority first, ties broken by wiring order.
+    ``publish`` dispatches depth-first: events published from inside a
+    handler are fully handled before the outer ``publish`` returns.
+    """
+
+    def __init__(self, metrics=None):
+        self._handlers: Dict[Type, List[_Edge]] = {}
+        self._seq = itertools.count()
+        self._published = {}  # event type name -> Counter
+        self._metrics = metrics
+
+    def subscribe(
+        self,
+        event_type: Type,
+        handler: Callable[[object], None],
+        app: str = "?",
+        priority: int = 0,
+    ) -> Callable[[], None]:
+        """Register ``handler`` for events of ``event_type``.
+
+        Returns an unsubscribe callable (idempotent).
+        """
+        edge = _Edge(
+            priority=priority,
+            seq=next(self._seq),
+            handler=handler,
+            app=app,
+        )
+        edges = self._handlers.setdefault(event_type, [])
+        edges.append(edge)
+        edges.sort(key=lambda e: (e.priority, e.seq))
+
+        def unsubscribe() -> None:
+            try:
+                edges.remove(edge)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: object) -> int:
+        """Dispatch ``event`` to its subscribers; returns how many ran."""
+        if self._metrics is not None:
+            name = type(event).__name__
+            counter = self._published.get(name)
+            if counter is None:
+                counter = self._metrics.counter(
+                    "bus.events_published",
+                    "Events published on the controller bus",
+                    event=name,
+                )
+                self._published[name] = counter
+            counter.inc()
+        edges = self._handlers.get(type(event))
+        if not edges:
+            return 0
+        delivered = 0
+        for edge in list(edges):
+            edge.handler(event)
+            delivered += 1
+        return delivered
+
+    def subscriptions(self) -> List[Subscription]:
+        """Every subscription edge, in deterministic dispatch order."""
+        result: List[Subscription] = []
+        for event_type in sorted(self._handlers, key=lambda t: t.__name__):
+            for edge in self._handlers[event_type]:
+                handler_name = getattr(
+                    edge.handler, "__name__", repr(edge.handler)
+                )
+                result.append(Subscription(
+                    event=event_type.__name__,
+                    app=edge.app,
+                    handler=handler_name,
+                    priority=edge.priority,
+                ))
+        return result
+
+
+@dataclass
+class _Edge:
+    priority: int
+    seq: int
+    handler: Callable[[object], None]
+    app: str = "?"
+    extras: dict = field(default_factory=dict, repr=False)

@@ -1,16 +1,30 @@
-"""The LiveSec controller application (the paper's core contribution).
+"""The LiveSec controller: a composition root over NOX-style apps.
 
-One NOX-style app that ties every subsystem together:
+The paper's monolithic controller is decomposed into six apps, each
+owning one concern, coordinated over a deterministic in-process event
+bus (:mod:`repro.core.bus`) with the NIB and its sibling tables as the
+shared-state surface:
 
-* location discovery from ARP (Section III.C.2) into the NIB,
-* the directory proxy answering ARP/DHCP without fabric broadcast,
-* two-hop end-to-end routing over the logical full mesh (III.C.3),
-* the global policy table and interactive policy enforcement with
-  service-element steering and ingress blocking (IV.A),
-* the in-band service-element message channel with certification
-  (III.D.1) feeding the registry and the load balancer (IV.B),
-* monitoring: port-stats polling, the global event log, and the
-  visualization state the WebUI renders (IV.C, IV.D).
+* :class:`~repro.core.apps.host_tracker.HostTrackerApp` -- location
+  discovery from ARP (Section III.C.2), the directory proxy answering
+  ARP/DHCP without fabric broadcast, host expiry, announcements,
+* :class:`~repro.core.apps.topology.TopologyApp` -- switch membership
+  and the logical link mesh (III.C.1),
+* :class:`~repro.core.apps.service_directory.ServiceDirectoryApp` --
+  the in-band service-element channel with certification (III.D.1),
+* :class:`~repro.core.apps.policy_engine.PolicyEngineApp` -- the
+  global policy table resolved into per-flow decisions (IV.A),
+* :class:`~repro.core.apps.steering.SteeringApp` -- interactive
+  enforcement: session setup over the logical full mesh (III.C.3),
+  element steering, ingress blocking, failover, teardown,
+* :class:`~repro.core.apps.monitor.MonitorApp` -- port-stats polling
+  and flow-stats fan-out for the monitoring views (IV.C, IV.D).
+
+This class remains the single OpenFlow endpoint: it classifies raw
+protocol input into typed bus events and owns the senders the apps
+borrow.  Flow entries are installed through the batched
+:class:`~repro.openflow.pipeline.InstallPipeline` (one barrier per
+datapath per tick instead of one per FlowMod).
 
 The controller is deliberately reactive: it installs flow entries only
 in response to first packets, keeps all decision logic here in the
@@ -20,136 +34,89 @@ the 4D/OpenFlow separation the paper builds on.
 
 from __future__ import annotations
 
-import itertools
 import warnings
-from dataclasses import dataclass, replace as dc_replace
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core import messages as svcmsg
+from repro.core.apps import (
+    App,
+    AppContext,
+    HostTrackerApp,
+    MonitorApp,
+    PolicyEngineApp,
+    ServiceDirectoryApp,
+    SteeringApp,
+    TopologyApp,
+)
+from repro.core.apps.host_tracker import (
+    ANNOUNCE_MIN_GAP_S,
+    ANNOUNCE_REFRESH_INTERVAL_S,
+    HOST_EXPIRY_INTERVAL_S,
+)
+from repro.core.apps.monitor import DEFAULT_STATS_INTERVAL_S
+from repro.core.apps.service_directory import REGISTRY_EXPIRY_INTERVAL_S
+from repro.core.apps.steering import FAILOVER_OUTCOMES
+from repro.core.bus import (
+    ArpIn,
+    BarrierReplyIn,
+    DataPacketIn,
+    DhcpIn,
+    EventBus,
+    FlowRemovedIn,
+    FlowStatsIn,
+    LinkDiscovered,
+    LinkTimedOut,
+    PortStatsIn,
+    ServiceFrameIn,
+    SwitchJoined,
+    SwitchLeft,
+)
 from repro.core.directory import DirectoryProxy
-from repro.core.events import EventKind, EventLog
+from repro.core.events import EventLog
+from repro.core.introspection import (
+    LEGACY_COUNTER_NAMES,
+    ControllerStatus,
+    CountersView,
+    setup_controller_metrics,
+)
 from repro.core.loadbalance import LoadBalancer, make_dispatcher
 from repro.core.nib import HostRecord, NetworkInformationBase
-from repro.core.policy import (
-    FailMode,
-    Granularity,
-    Policy,
-    PolicyAction,
-    PolicyTable,
-)
-from repro.core.routing import (
-    RoutingError,
-    RuleSpec,
-    compute_path_rules,
-    drop_rule,
-    source_block_rule,
-)
-from repro.core.services import CertificateError, ServiceRegistry
-from repro.core.sessions import Session, SessionTable
+from repro.core.policy import PolicyTable
+from repro.core.services import ServiceRegistry
+from repro.core.sessions import SessionTable
 from repro.net import packet as pkt
-from repro.net.packet import Arp, Dhcp, Ethernet, FlowNineTuple, Udp, extract_nine_tuple
-from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.net.packet import Arp, Dhcp, Udp
+from repro.obs import MetricsRegistry
 from repro.openflow import messages as ofmsg
-from repro.openflow.actions import Output
-from repro.openflow.controller_base import ControllerBase, DiscoveredLink, SwitchHandle
+from repro.openflow.controller_base import (
+    ControllerBase,
+    DiscoveredLink,
+    SwitchHandle,
+)
+from repro.openflow.pipeline import (
+    DEFAULT_INSTALL_TIMEOUT_S,
+    DEFAULT_MAX_ATTEMPTS as INSTALL_MAX_ATTEMPTS,
+)
+
+__all__ = [
+    "LiveSecController",
+    "ControllerStatus",
+    "CountersView",
+    "LEGACY_COUNTER_NAMES",
+    "FAILOVER_OUTCOMES",
+    "DEFAULT_SECRET",
+    "DEFAULT_IDLE_TIMEOUT_S",
+    "DEFAULT_STATS_INTERVAL_S",
+    "DEFAULT_INSTALL_TIMEOUT_S",
+    "INSTALL_MAX_ATTEMPTS",
+    "HOST_EXPIRY_INTERVAL_S",
+    "REGISTRY_EXPIRY_INTERVAL_S",
+    "ANNOUNCE_REFRESH_INTERVAL_S",
+    "ANNOUNCE_MIN_GAP_S",
+]
 
 DEFAULT_SECRET = "livesec-deployment-secret"
 DEFAULT_IDLE_TIMEOUT_S = 5.0
-HOST_EXPIRY_INTERVAL_S = 5.0
-REGISTRY_EXPIRY_INTERVAL_S = 1.0
-ANNOUNCE_REFRESH_INTERVAL_S = 60.0
-ANNOUNCE_MIN_GAP_S = 0.25
-DEFAULT_STATS_INTERVAL_S = 1.0
-# Reliable rule installation: every FlowMod is chased by a
-# BarrierRequest; a missing BarrierReply within the timeout re-sends
-# the install with the timeout doubled, up to the attempt cap.
-DEFAULT_INSTALL_TIMEOUT_S = 0.05
-INSTALL_MAX_ATTEMPTS = 5
-FAILOVER_OUTCOMES = ("recovered", "fail-open", "fail-closed", "torn-down")
-
-# Legacy diagnostic counter names, preserved verbatim by the
-# ``counters`` back-compat view (registry metric: ``controller.<name>``).
-LEGACY_COUNTER_NAMES = (
-    "arp_in",
-    "service_messages",
-    "flows_installed",
-    "flows_blocked",
-    "transit_ignored",
-    "orphan_chain_frames",
-    "no_element_fallback",
-    "routing_deferred",
-)
-
-
-class CountersView(Mapping):
-    """Read-only live view of the legacy diagnostics counters.
-
-    Behaves like the old ``controller.counters`` dict for reads
-    (lookup, iteration, ``dict(...)``), but the values come straight
-    from the metrics registry -- there is exactly one source of truth.
-    """
-
-    __slots__ = ("_counters",)
-
-    def __init__(self, counters: Dict[str, object]):
-        self._counters = counters
-
-    def __getitem__(self, name: str) -> int:
-        return int(self._counters[name].value)
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._counters)
-
-    def __len__(self) -> int:
-        return len(self._counters)
-
-    def __repr__(self) -> str:
-        return repr(dict(self))
-
-
-@dataclass
-class _PendingInstall:
-    """One barrier-acked rule install awaiting its BarrierReply."""
-
-    rule: RuleSpec
-    buffer_id: Optional[int]
-    attempt: int
-    timeout_s: float
-    timer: object  # cancellable simulator handle
-
-
-@dataclass
-class ControllerStatus(Mapping):
-    """Typed result of :meth:`LiveSecController.status`.
-
-    Iterates and indexes like the historical ad-hoc dict (the five
-    legacy keys), so existing ``status()["nib"]`` call sites keep
-    working; the full metrics snapshot rides along as ``.metrics``.
-    """
-
-    nib: Dict[str, object]
-    registry: Dict[str, object]
-    sessions: int
-    counters: Dict[str, int]
-    events: int
-    metrics: MetricsSnapshot
-
-    _LEGACY_KEYS = ("nib", "registry", "sessions", "counters", "events")
-
-    def to_dict(self) -> dict:
-        """The exact pre-redesign ``status()`` dict shape."""
-        return {key: getattr(self, key) for key in self._LEGACY_KEYS}
-
-    def __getitem__(self, key: str):
-        if key not in self._LEGACY_KEYS:
-            raise KeyError(key)
-        return getattr(self, key)
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._LEGACY_KEYS)
-
-    def __len__(self) -> int:
-        return len(self._LEGACY_KEYS)
 
 
 class LiveSecController(ControllerBase):
@@ -158,7 +125,9 @@ class LiveSecController(ControllerBase):
     Parameters mirror the deployment's knobs: the dispatch algorithm
     (``'polling' | 'hash' | 'queuing' | 'minload'``), flow idle
     timeout, the certification secret, and whether/so-often to poll
-    port statistics for the monitoring view.
+    port statistics for the monitoring view.  ``install_batching``
+    selects the barrier-coalescing install pipeline (the default) or
+    the historical one-barrier-per-FlowMod behavior.
     """
 
     def __init__(
@@ -175,10 +144,14 @@ class LiveSecController(ControllerBase):
         metrics: Optional[MetricsRegistry] = None,
         element_timeout_s: Optional[float] = None,
         install_timeout_s: float = DEFAULT_INSTALL_TIMEOUT_S,
+        install_batching: bool = True,
     ):
         super().__init__(sim, lldp_enabled=lldp_enabled)
         if on_no_element not in ("allow", "drop"):
-            raise ValueError(f"on_no_element must be allow|drop, got {on_no_element}")
+            raise ValueError(
+                f"on_no_element must be allow|drop, got {on_no_element}"
+            )
+        # Shared state surfaces (the single source of truth between apps).
         self.nib = NetworkInformationBase(host_timeout_s=host_timeout_s)
         self.policies = policies if policies is not None else PolicyTable()
         registry_kwargs = {}
@@ -191,103 +164,94 @@ class LiveSecController(ControllerBase):
         self.log = EventLog()
         self.idle_timeout_s = idle_timeout_s
         self.on_no_element = on_no_element
-        # Reliable-install state: barrier xid -> pending install.
         self.install_timeout_s = install_timeout_s
-        self._pending_installs: Dict[int, _PendingInstall] = {}
-        self._barrier_xids = itertools.count(1)
-        # Monitoring state.
-        self._port_capacity: Dict[Tuple[int, int], float] = {}
-        self._last_port_sample: Dict[Tuple[int, int], Tuple[int, float]] = {}
-        self._last_announce: Dict[str, float] = {}
-        # Add-ons (e.g. AggregateFlowControl) subscribe via
-        # subscribe_flow_stats() to see flow-stats replies without
-        # subclassing.
-        self._flow_stats_listeners: list = []
         # Observability: one registry for every subsystem's metrics.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._setup_metrics()
-        sim.every(HOST_EXPIRY_INTERVAL_S, self._expire_hosts)
-        sim.every(REGISTRY_EXPIRY_INTERVAL_S, self._expire_elements)
-        sim.every(ANNOUNCE_REFRESH_INTERVAL_S, self.refresh_announcements)
-        if stats_interval_s is not None:
-            sim.every(stats_interval_s, self._poll_stats)
+        setup_controller_metrics(self)
+        # The bus and the apps.  Construction order is the dispatch
+        # tie-break order (subscription seq) and ``start()`` order is
+        # the timer registration order -- both are part of the
+        # deterministic-digest contract; do not reorder casually.
+        self.bus = EventBus(metrics=self.metrics)
+        ctx = AppContext(
+            sim=sim,
+            bus=self.bus,
+            controller=self,
+            nib=self.nib,
+            policies=self.policies,
+            registry=self.registry,
+            balancer=self.balancer,
+            sessions=self.sessions,
+            directory=self.directory,
+            log=self.log,
+            metrics=self.metrics,
+            count=self._count,
+        )
+        self._app_ctx = ctx
+        self._apps: Dict[str, App] = {}
+        for app in (
+            HostTrackerApp(ctx),
+            TopologyApp(ctx),
+            ServiceDirectoryApp(ctx),
+            PolicyEngineApp(ctx),
+            SteeringApp(
+                ctx,
+                install_timeout_s=install_timeout_s,
+                install_batching=install_batching,
+            ),
+            MonitorApp(ctx, stats_interval_s=stats_interval_s),
+        ):
+            self._apps[app.name] = app
+        for app in self._apps.values():
+            app.start()
+
+    # ==================================================================
+    # App registry
+
+    @property
+    def apps(self) -> List[App]:
+        """The loaded apps, in construction (dispatch tie-break) order."""
+        return list(self._apps.values())
+
+    def app(self, name: str) -> App:
+        """One app by its :attr:`~repro.core.apps.base.App.name`."""
+        return self._apps[name]
+
+    def add_app(self, factory: Callable[[AppContext], App]) -> App:
+        """Construct, register and start an extra app.
+
+        ``factory`` (typically the :class:`App` subclass itself) is
+        called with this controller's :class:`AppContext`.  The app
+        subscribes after the built-ins, so at equal priority it sees
+        each event last -- extensions observe, the stock pipeline
+        decides.
+        """
+        app = factory(self._app_ctx)
+        if app.name in self._apps:
+            raise ValueError(f"app {app.name!r} already registered")
+        self._apps[app.name] = app
+        app.start()
+        return app
+
+    @property
+    def install_pipeline(self):
+        """The steering app's batched install pipeline."""
+        return self._steering.pipeline
+
+    @property
+    def _steering(self) -> SteeringApp:
+        return self._apps["steering"]
+
+    @property
+    def _host_tracker(self) -> HostTrackerApp:
+        return self._apps["host-tracker"]
+
+    @property
+    def _monitor(self) -> MonitorApp:
+        return self._apps["monitor"]
 
     # ==================================================================
     # Observability
-
-    def _setup_metrics(self) -> None:
-        registry = self.metrics
-        if hasattr(self.sim, "attach_metrics"):
-            self.sim.attach_metrics(registry)
-        self.balancer.attach_metrics(registry)
-        self._legacy_counters = {
-            name: registry.counter(
-                f"controller.{name}", f"Legacy diagnostics counter {name!r}"
-            )
-            for name in LEGACY_COUNTER_NAMES
-        }
-        self._counters_view = CountersView(self._legacy_counters)
-        # Hot-path latency histograms (wall clock: control-plane cost).
-        self._packet_in_hists = {
-            kind: registry.histogram(
-                "controller.packet_in_latency_s",
-                "Wall-clock time spent handling one PacketIn",
-                kind=kind,
-            )
-            for kind in ("arp", "dhcp", "service", "data")
-        }
-        self._flow_setup_rules_hist = registry.histogram(
-            "controller.flow_setup_rules",
-            "Flow entries installed per end-to-end session setup",
-        )
-        self._flow_setup_wall_hist = registry.histogram(
-            "controller.flow_setup_wall_s",
-            "Wall-clock time to compute and install one session",
-        )
-        self._policy_scan_hist = registry.histogram(
-            "controller.policy_lookup_scans",
-            "Policy-table rows scanned per first-packet lookup",
-        )
-        # Session lifetime is a *simulated-time* span.
-        self._session_duration_hist = registry.histogram(
-            "controller.session_duration_s",
-            "Simulated lifetime of ended sessions",
-            clock=lambda: self.sim.now,
-        )
-        registry.gauge(
-            "controller.sessions_active", "Live (not torn down) sessions"
-        ).set_function(lambda: len(self.sessions))
-        registry.gauge(
-            "controller.hosts_known", "Hosts currently in the NIB"
-        ).set_function(lambda: len(self.nib.hosts))
-        registry.gauge(
-            "controller.policies", "Rows in the global policy table"
-        ).set_function(lambda: len(self.policies))
-        # Recovery-path metrics (chaos/robustness).
-        self._install_retries = registry.counter(
-            "controller.install_retries",
-            "Rule installs re-sent after a barrier-ack timeout",
-        )
-        self._install_failures = registry.counter(
-            "controller.install_failures",
-            "Rule installs abandoned after exhausting retries",
-        )
-        self._rules_resynced = registry.counter(
-            "controller.rules_resynced",
-            "Flow entries re-pushed to a switch on reconnect",
-        )
-        self._failover_counters = {
-            outcome: registry.counter(
-                "controller.failover",
-                "Sessions re-steered after an element went offline",
-                outcome=outcome,
-            )
-            for outcome in FAILOVER_OUTCOMES
-        }
-        registry.gauge(
-            "controller.installs_pending",
-            "Rule installs awaiting their barrier ack",
-        ).set_function(lambda: len(self._pending_installs))
 
     def _count(self, name: str, amount: int = 1) -> None:
         self._legacy_counters[name].inc(amount)
@@ -306,15 +270,7 @@ class LiveSecController(ControllerBase):
     ) -> Callable[[], None]:
         """Register a flow-stats observer; returns an unsubscribe
         callable.  Unsubscribing twice is a no-op."""
-        self._flow_stats_listeners.append(callback)
-
-        def unsubscribe() -> None:
-            try:
-                self._flow_stats_listeners.remove(callback)
-            except ValueError:
-                pass
-
-        return unsubscribe
+        return self._monitor.subscribe_flow_stats(callback)
 
     @property
     def flow_stats_listeners(self) -> list:
@@ -326,923 +282,86 @@ class LiveSecController(ControllerBase):
             DeprecationWarning,
             stacklevel=2,
         )
-        return self._flow_stats_listeners
+        return self._monitor._flow_stats_listeners
 
     # ==================================================================
-    # Topology events
+    # OpenFlow input -> bus events
 
     def on_switch_join(self, switch: SwitchHandle) -> None:
-        self.nib.add_switch(switch.dpid, switch.name, switch.ports, self.sim.now)
-        self.log.emit(self.sim.now, EventKind.SWITCH_JOIN,
-                      dpid=switch.dpid, name=switch.name)
-        self._resync_switch(switch.dpid)
+        self.bus.publish(SwitchJoined(handle=switch))
 
     def on_switch_leave(self, switch: SwitchHandle) -> None:
-        self.nib.remove_switch(switch.dpid)
-        # Abort in-flight installs: retrying against a dead channel is
-        # pointless, and a reconnect resyncs the full session state.
-        stale = [
-            xid for xid, pending in self._pending_installs.items()
-            if pending.rule.dpid == switch.dpid
-        ]
-        for xid in stale:
-            self._pending_installs.pop(xid).timer.cancel()
-        self.log.emit(self.sim.now, EventKind.SWITCH_LEAVE, dpid=switch.dpid)
-
-    def _resync_switch(self, dpid: int) -> None:
-        """Re-push this datapath's share of the session store.
-
-        A reconnecting switch's flow table may have lost entries (or
-        the whole switch rebooted): the session store is authoritative,
-        so every live session's rules for this dpid are reinstalled.
-        ADD semantics make this idempotent -- entries that survived are
-        replaced in place, with no FlowRemoved.  Stale datapath entries
-        for sessions the controller no longer tracks simply idle out.
-        """
-        resynced = 0
-        for session in self.sessions:
-            if session.blocked:
-                continue
-            for rule in session.rules:
-                if rule.dpid == dpid:
-                    self._install_rule(rule)
-                    resynced += 1
-        if resynced:
-            self._rules_resynced.inc(resynced)
-            self.log.emit(self.sim.now, EventKind.SWITCH_RESYNC,
-                          dpid=dpid, rules=resynced)
+        self.bus.publish(SwitchLeft(handle=switch))
 
     def on_link_discovered(self, link: DiscoveredLink) -> None:
-        pair_was_known = self.nib.link(link.src_dpid, link.dst_dpid) is not None
-        self.nib.learn_link(
-            link.src_dpid, link.src_port, link.dst_dpid, link.dst_port, self.sim.now
-        )
-        if not pair_was_known:
-            self.log.emit(
-                self.sim.now, EventKind.LINK_UP,
-                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
-            )
+        self.bus.publish(LinkDiscovered(link=link))
 
     def on_link_timeout(self, link: DiscoveredLink) -> None:
-        # Dual-homed pairs have several port pairs; rebuild the NIB's
-        # link table from what discovery still confirms, and only
-        # report the logical link down when no path remains.
-        before = {
-            dpid: self.nib.uplink_ports(dpid) for dpid in self.nib.switches
-        }
-        self.nib.rebuild_links(self.known_links(), self.sim.now)
-        if self.nib.link(link.src_dpid, link.dst_dpid) is None:
-            self.log.emit(
-                self.sim.now, EventKind.LINK_DOWN,
-                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
-            )
-        # Fabric failover: a switch whose uplink set shrank may have
-        # live sessions forwarding into the dead path -- and those
-        # entries never idle out, because the (blackholed) traffic
-        # keeps refreshing them.  Tear the affected sessions down; the
-        # next packet re-forms them over the surviving uplinks.
-        uplinks_changed = False
-        for dpid, old_uplinks in before.items():
-            new_uplinks = self.nib.uplink_ports(dpid)
-            if new_uplinks and old_uplinks - new_uplinks:
-                self._invalidate_sessions_via(dpid)
-                uplinks_changed = True
-        if uplinks_changed:
-            # The legacy fabric's MAC tables still point hosts at the
-            # dead paths; flooding fresh announcements out of the
-            # surviving uplinks re-teaches it.
-            self.refresh_announcements(force=True)
-
-    def _invalidate_sessions_via(self, dpid: int) -> None:
-        for session in list(self.sessions):
-            if any(rule.dpid == dpid for rule in session.rules):
-                self._teardown_session(session)
-
-    # ==================================================================
-    # Packet-in dispatch
+        self.bus.publish(LinkTimedOut(link=link))
 
     def on_packet_in(self, event: ofmsg.PacketIn) -> None:
         frame = event.frame
-        if frame.ethertype == pkt.ETH_TYPE_ARP and isinstance(frame.payload, Arp):
+        if frame.ethertype == pkt.ETH_TYPE_ARP and isinstance(
+            frame.payload, Arp
+        ):
             with self._packet_in_hists["arp"].time():
-                self._handle_arp(event, frame.payload)
+                self.bus.publish(ArpIn(packet_in=event, arp=frame.payload))
             return
         if isinstance(frame.payload, Dhcp):
             with self._packet_in_hists["dhcp"].time():
-                self._handle_dhcp(event, frame.payload)
+                self.bus.publish(DhcpIn(packet_in=event, dhcp=frame.payload))
             return
         transport = frame.transport()
-        if isinstance(transport, Udp) and svcmsg.is_service_message(transport.payload):
+        if isinstance(transport, Udp) and svcmsg.is_service_message(
+            transport.payload
+        ):
             with self._packet_in_hists["service"].time():
-                self._handle_service_message(event, transport.payload)
+                self.bus.publish(
+                    ServiceFrameIn(packet_in=event, payload=transport.payload)
+                )
             return
         if frame.ip() is not None:
             with self._packet_in_hists["data"].time():
-                self._handle_data_packet(event)
+                self.bus.publish(DataPacketIn(packet_in=event))
             return
         # Unknown ethertype (e.g. stray BPDUs leaking through): ignore.
 
-    # ------------------------------------------------------------------
-    # ARP / location discovery / directory proxy
+    def on_flow_removed(self, event: ofmsg.FlowRemoved) -> None:
+        self.bus.publish(FlowRemovedIn(message=event))
 
-    def _is_periphery_port(self, dpid: int, port: int) -> Optional[bool]:
-        """True/False once the switch's uplinks are known, None before.
+    def on_port_stats(self, event: ofmsg.PortStatsReply) -> None:
+        self.bus.publish(PortStatsIn(message=event))
 
-        A dual-homed AS switch has several Legacy-Switching ports; a
-        port is periphery only when it is none of them.
-        """
-        uplinks = self.nib.uplink_ports(dpid)
-        if not uplinks:
-            return None
-        return port not in uplinks
+    def on_flow_stats(self, event: ofmsg.FlowStatsReply) -> None:
+        self.bus.publish(FlowStatsIn(message=event))
 
-    def _handle_arp(self, event: ofmsg.PacketIn, arp: Arp) -> None:
-        self._count("arp_in")
-        periphery = self._is_periphery_port(event.dpid, event.in_port)
-        if periphery:
-            self._learn_host(
-                mac=arp.sender_mac,
-                ip=arp.sender_ip,
-                dpid=event.dpid,
-                port=event.in_port,
-            )
-        if not arp.is_request:
-            # Unicast reply: deliver to the target if we know where it is.
-            target = self.nib.host_by_mac(arp.target_mac)
-            if target is not None:
-                self.send_packet_out(
-                    target.dpid, actions=(Output(target.port),), frame=event.frame
-                )
-            return
-        decision = self.directory.handle_arp_request(arp)
-        if decision.action == "reply":
-            assert decision.reply_frame is not None
-            self.send_packet_out(
-                event.dpid,
-                actions=(Output(event.in_port),),
-                frame=decision.reply_frame,
-            )
-        elif decision.action == "flood":
-            self._periphery_flood(event.frame, exclude=(event.dpid, event.in_port))
+    def on_barrier_reply(self, dpid: int, xid: int) -> None:
+        self.bus.publish(BarrierReplyIn(dpid=dpid, xid=xid))
 
-    def _learn_host(self, mac: str, ip: Optional[str], dpid: int, port: int,
-                    is_element: bool = False) -> HostRecord:
-        # Distinguish a genuine join from a move *before* the NIB
-        # overwrites the record: inferring the difference from the
-        # record's timestamps afterwards mis-labels a host that roams
-        # (e.g. wired -> wifi) at the same instant it was first
-        # learned, because first_seen == last_seen then looks like a
-        # fresh join.
-        prior = self.nib.host_by_mac(mac)
-        moved = prior is not None and (prior.dpid != dpid or prior.port != port)
-        record, is_new = self.nib.learn_host(
-            mac=mac, ip=ip, dpid=dpid, port=port, now=self.sim.now,
-            is_element=is_element,
-        )
-        if is_new:
-            kind = EventKind.HOST_MOVE if moved else EventKind.HOST_JOIN
-            if not record.is_element:
-                self.log.emit(self.sim.now, kind,
-                              mac=mac, ip=ip, dpid=dpid, port=port)
-            self._announce_host(record)
-        return record
-
-    def _announce_host(self, record: HostRecord, force: bool = False) -> None:
-        """Teach the legacy fabric where this MAC lives by flooding a
-        gratuitous ARP out of the host's switch uplink.
-
-        Rate-limited per MAC (announcements are flooded to every AS
-        switch, so a feedback loop must never be able to amplify
-        them); ``force`` bypasses the limiter for failover refreshes,
-        where re-teaching the fabric immediately is the whole point.
-        """
-        uplink = self.nib.uplink_port(record.dpid)
-        if uplink is None or record.dpid not in self.switches:
-            return
-        last = self._last_announce.get(record.mac)
-        if not force and last is not None and \
-                self.sim.now - last < ANNOUNCE_MIN_GAP_S:
-            return
-        self._last_announce[record.mac] = self.sim.now
-        announce = pkt.make_arp_request(
-            record.mac, record.ip or "0.0.0.0", record.ip or "0.0.0.0"
-        )
-        self.send_packet_out(record.dpid, actions=(Output(uplink),), frame=announce)
+    # ==================================================================
+    # Back-compat delegations (pre-decomposition public surface)
 
     def refresh_announcements(self, force: bool = False) -> None:
         """Re-announce every known host into the legacy fabric (also
         called once by the deployment after discovery converges)."""
-        for record in list(self.nib.hosts.values()):
-            self._announce_host(record, force=force)
-
-    def _periphery_flood(self, frame: Ethernet,
-                         exclude: Tuple[int, int]) -> None:
-        """Directory-proxy fallback for unknown ARP targets: deliver a
-        copy to every Network-Periphery port, never into the fabric."""
-        for dpid, handle in self.switches.items():
-            uplinks = self.nib.uplink_ports(dpid)
-            if not uplinks:
-                continue
-            outputs = tuple(
-                Output(port)
-                for port in handle.ports
-                if port not in uplinks and (dpid, port) != exclude
-            )
-            if outputs:
-                self.send_packet_out(dpid, actions=outputs, frame=frame.clone())
-
-    def _handle_dhcp(self, event: ofmsg.PacketIn, dhcp: Dhcp) -> None:
-        response = self.directory.handle_dhcp(dhcp)
-        if response is None:
-            return
-        reply = Ethernet(
-            src=svcmsg.CONTROLLER_MAC,
-            dst=dhcp.client_mac,
-            ethertype=0x0800,
-            size=300,
-            payload=None,
-        )
-        reply.payload = response  # type: ignore[assignment]
-        self.send_packet_out(
-            event.dpid, actions=(Output(event.in_port),), frame=reply
-        )
-
-    # ------------------------------------------------------------------
-    # Service-element messages (never get a flow entry installed)
-
-    def _handle_service_message(self, event: ofmsg.PacketIn, payload: bytes) -> None:
-        self._count("service_messages")
-        mac = event.frame.src
-        try:
-            message = svcmsg.decode(payload)
-        except svcmsg.MessageFormatError:
-            self._reject_element(event, mac, reason="malformed-message")
-            return
-        try:
-            if isinstance(message, svcmsg.OnlineMessage):
-                self._handle_online_message(event, message)
-            else:
-                self._handle_event_report(event, message)
-        except CertificateError:
-            self._reject_element(event, mac, reason="bad-certificate")
-
-    def _handle_online_message(
-        self, event: ofmsg.PacketIn, message: svcmsg.OnlineMessage
-    ) -> None:
-        # Capture the prior liveness *before* handle_online refreshes
-        # the record (which always leaves it online): an element
-        # returning from an expiry must re-log ELEMENT_ONLINE.
-        prior = self.registry.get(message.element_mac)
-        was_online = prior is not None and prior.online
-        record = self.registry.handle_online(message, self.sim.now)
-        came_back = not was_online
-        host = self._learn_host(
-            mac=message.element_mac,
-            ip=None,
-            dpid=event.dpid,
-            port=event.in_port,
-            is_element=True,
-        )
-        self.balancer.on_load_report(message.element_mac)
-        if came_back or record.reports == 1:
-            self.log.emit(
-                self.sim.now, EventKind.ELEMENT_ONLINE,
-                mac=message.element_mac,
-                service_type=message.service_type,
-                dpid=host.dpid,
-            )
-        self.log.emit(
-            self.sim.now, EventKind.ELEMENT_LOAD,
-            mac=message.element_mac, cpu=message.cpu, pps=message.pps,
-            flows=message.active_flows,
-        )
-
-    def _handle_event_report(
-        self, event: ofmsg.PacketIn, message: svcmsg.EventReportMessage
-    ) -> None:
-        self.registry.verify_event(message)
-        session = self._find_session_for_report(message)
-        if message.kind == "attack":
-            self._block_attack(message, session)
-        elif message.kind == "protocol":
-            application = message.detail.get("application", "unknown")
-            user_mac = session.src_mac if session else (
-                message.flow.dl_src if message.flow else "?"
-            )
-            if session is not None:
-                session.application = application
-            self.log.emit(
-                self.sim.now, EventKind.PROTOCOL_IDENTIFIED,
-                user_mac=user_mac, application=application,
-                element=message.element_mac,
-            )
-        else:
-            # Other service results (virus, content, ...) are logged as
-            # attacks for blocking purposes only when flagged malicious.
-            if message.detail.get("verdict") == "malicious":
-                self._block_attack(message, session)
-            else:
-                self.log.emit(
-                    self.sim.now, EventKind.PROTOCOL_IDENTIFIED,
-                    user_mac=message.flow.dl_src if message.flow else "?",
-                    application=f"{message.kind}:{message.detail.get('result', '?')}",
-                    element=message.element_mac,
-                )
-
-    def _find_session_for_report(
-        self, message: svcmsg.EventReportMessage
-    ) -> Optional[Session]:
-        """Map a reported flow back to its session.
-
-        The element sees frames whose dl_dst was rewritten to its own
-        MAC, so an exact 9-tuple lookup can fail; fall back to matching
-        the sessions steered through that element on the stable fields.
-        """
-        if message.flow is None:
-            return None
-        direct = self.sessions.lookup(message.flow)
-        if direct is not None:
-            return direct
-        for session in self.sessions.sessions_via_element(message.element_mac):
-            for candidate in (session.flow, session.reverse_flow):
-                # Compare on the network/transport identity only: the
-                # MAC labels the element saw may have been rewritten by
-                # the steering chain (dl_dst always, dl_src for chains
-                # of two or more elements).
-                if (
-                    candidate.nw_src == message.flow.nw_src
-                    and candidate.nw_dst == message.flow.nw_dst
-                    and candidate.nw_proto == message.flow.nw_proto
-                    and candidate.tp_src == message.flow.tp_src
-                    and candidate.tp_dst == message.flow.tp_dst
-                ):
-                    return session
-        return None
-
-    def _block_attack(
-        self,
-        message: svcmsg.EventReportMessage,
-        session: Optional[Session],
-    ) -> None:
-        """Install the ingress drop: the flow dies at the entrance."""
-        attack_type = message.detail.get("attack", "unknown")
-        if session is not None:
-            flow = session.flow
-            user_mac = session.src_mac
-        elif message.flow is not None:
-            flow = message.flow
-            user_mac = message.flow.dl_src
-        else:
-            return
-        src = self.nib.host_by_mac(user_mac)
-        self.log.emit(
-            self.sim.now, EventKind.ATTACK_DETECTED,
-            user_mac=user_mac, attack=attack_type,
-            element=message.element_mac,
-            dpid=src.dpid if src else -1,
-        )
-        if src is None:
-            return
-        rule = drop_rule(
-            flow, src,
-            cookie=session.session_id if session else 0,
-        )
-        self._install_rule(rule)
-        if session is not None:
-            session.blocked = True
-        self._count("flows_blocked")
-        self.log.emit(
-            self.sim.now, EventKind.FLOW_BLOCKED,
-            user_mac=user_mac, dpid=src.dpid, attack=attack_type,
-        )
-
-    def _reject_element(self, event: ofmsg.PacketIn, mac: str, reason: str) -> None:
-        """Uncertified/malformed element traffic: drop at the ingress."""
-        record = self.nib.host_by_mac(mac)
-        if record is None:
-            record = HostRecord(
-                mac=mac, ip=None, dpid=event.dpid, port=event.in_port,
-                first_seen=self.sim.now, last_seen=self.sim.now,
-            )
-        self._install_rule(source_block_rule(mac, record))
-        self.log.emit(
-            self.sim.now, EventKind.ELEMENT_REJECTED, mac=mac, reason=reason
-        )
-
-    # ------------------------------------------------------------------
-    # Data-plane flow setup (interactive policy enforcement)
-
-    def _handle_data_packet(self, event: ofmsg.PacketIn) -> None:
-        frame = event.frame
-        periphery = self._is_periphery_port(event.dpid, event.in_port)
-        flow = extract_nine_tuple(frame)
-
-        if periphery is not True:
-            # A transit copy flooded through the legacy fabric, or a
-            # punt from a switch whose uplink is still undiscovered.
-            # Deliver locally if the destination sits on this switch,
-            # but never install state or learn locations from it.
-            self._count("transit_ignored")
-            dst = self.nib.host_by_mac(frame.dst)
-            if (
-                dst is not None
-                and dst.dpid == event.dpid
-                and event.buffer_id is not None
-            ):
-                self.send_packet_out(
-                    event.dpid, actions=(Output(dst.port),),
-                    buffer_id=event.buffer_id,
-                )
-            return
-
-        existing = self.sessions.lookup(flow)
-        if existing is not None:
-            self._release_along_session(event, existing, flow)
-            return
-
-        # Orphaned mid-chain frame: its destination MAC is a service
-        # element's, i.e. it was rewritten by a (since torn down)
-        # steering chain and missed the element switch's entries.  It
-        # must neither teach us locations (its source MAC is the
-        # *original* sender, nowhere near this port) nor form a
-        # session (the real flow will re-punt at its true ingress and
-        # re-form; the transport retransmits the lost packet).
-        dst_record_early = self.nib.host_by_mac(frame.dst)
-        if (
-            dst_record_early is not None
-            and dst_record_early.is_element
-            and frame.src != dst_record_early.mac
-        ):
-            self._count("orphan_chain_frames")
-            return
-
-        # Learn-or-refresh: a packet from a periphery port is location
-        # evidence and liveness evidence at once.
-        src = self._learn_host(frame.src, flow.nw_src, event.dpid, event.in_port)
-        dst = self.nib.host_by_mac(frame.dst)
-        if dst is None:
-            # Destination location unknown: fall back to a periphery
-            # flood of this one packet; the session forms on a retry.
-            self._periphery_flood(frame, exclude=(event.dpid, event.in_port))
-            return
-
-        policy, scanned = self.policies.match(flow)
-        self._policy_scan_hist.observe(scanned)
-        if policy is not None:
-            # Hit accounting is the controller's call, not the
-            # lookup's: read-only consumers must not inflate hits.
-            self.policies.record_hit(policy)
-        action = policy.action if policy is not None else self.policies.default_action
-
-        if action is PolicyAction.DROP:
-            rule = drop_rule(flow, src)
-            self._install_rule(rule)
-            self._count("flows_blocked")
-            self.log.emit(
-                self.sim.now, EventKind.FLOW_BLOCKED,
-                user_mac=src.mac, dpid=src.dpid,
-                policy=policy.name if policy else "default",
-            )
-            return
-
-        waypoints: List[HostRecord] = []
-        element_macs: List[str] = []
-        if action is PolicyAction.CHAIN:
-            assert policy is not None
-            resolved = self._resolve_chain(policy, flow, src)
-            if resolved is None:
-                if self._effective_fail_mode(policy) is FailMode.CLOSED:
-                    self._install_rule(drop_rule(flow, src))
-                    self._count("flows_blocked")
-                    self.log.emit(
-                        self.sim.now, EventKind.FLOW_BLOCKED,
-                        user_mac=src.mac, dpid=src.dpid, policy=policy.name,
-                    )
-                    return
-                self._count("no_element_fallback")
-            else:
-                waypoints, element_macs = resolved
-
-        try:
-            with self._flow_setup_wall_hist.time():
-                self._install_session(
-                    event, flow, src, dst, waypoints, tuple(element_macs), policy
-                )
-        except RoutingError:
-            # Topology discovery has not converged; deliver nothing and
-            # let the application retry.
-            self._count("routing_deferred")
-
-    def _resolve_chain(
-        self, policy: Policy, flow: FlowNineTuple, src: HostRecord
-    ) -> Optional[Tuple[List[HostRecord], List[str]]]:
-        """Pick one element per chained service type via the balancer."""
-        waypoints: List[HostRecord] = []
-        element_macs: List[str] = []
-        for service_type in policy.service_chain:
-            candidates = self.registry.candidates(service_type)
-            located = [
-                c for c in candidates if self.nib.host_by_mac(c.mac) is not None
-            ]
-            if not located:
-                return None
-            chosen = self.balancer.assign(
-                located, flow,
-                user=src.mac,
-                granularity=policy.granularity,
-            )
-            record = self.nib.host_by_mac(chosen)
-            assert record is not None
-            waypoints.append(record)
-            element_macs.append(chosen)
-        return waypoints, element_macs
-
-    def _effective_fail_mode(self, policy: Optional[Policy]) -> FailMode:
-        """The fail mode governing a chained policy with no healthy
-        element: the policy's own, else inherited from the controller's
-        ``on_no_element`` default."""
-        if policy is not None and policy.fail_mode is not None:
-            return policy.fail_mode
-        return FailMode.CLOSED if self.on_no_element == "drop" else FailMode.OPEN
-
-    def _compute_session_rules(
-        self,
-        flow: FlowNineTuple,
-        src: HostRecord,
-        dst: HostRecord,
-        waypoints: List[HostRecord],
-        policy: Optional[Policy],
-        session_id: int,
-    ) -> List[RuleSpec]:
-        """Both directions' flow entries for one session (rules[0] is
-        the forward ingress entry, the only one arming teardown)."""
-        forward = compute_path_rules(
-            self.nib, flow, src, dst, waypoints,
-            idle_timeout=self.idle_timeout_s, cookie=session_id,
-        )
-        inspect_reply = policy.inspect_reply if policy is not None else False
-        reverse_waypoints = list(reversed(waypoints)) if inspect_reply else []
-        reverse = compute_path_rules(
-            self.nib, flow.reversed(), dst, src, reverse_waypoints,
-            idle_timeout=self.idle_timeout_s, cookie=session_id,
-        )
-        # Only the *forward* ingress entry arms session teardown.  The
-        # reply direction of a one-way flow is legitimately idle; its
-        # expiry must not kill an active session (the teardown deletes
-        # the reverse entries anyway, and a late reply packet simply
-        # punts and re-forms the session from the other side).
-        reverse[0] = dc_replace(reverse[0], send_flow_removed=False)
-        return forward + reverse
-
-    def _install_session(
-        self,
-        event: ofmsg.PacketIn,
-        flow: FlowNineTuple,
-        src: HostRecord,
-        dst: HostRecord,
-        waypoints: List[HostRecord],
-        element_macs: Tuple[str, ...],
-        policy: Optional[Policy],
-    ) -> None:
-        session_id = self.sessions.next_id()
-        rules = self._compute_session_rules(
-            flow, src, dst, waypoints, policy, session_id
-        )
-        session = self.sessions.create(
-            flow=flow,
-            src_mac=src.mac,
-            dst_mac=dst.mac,
-            policy_name=policy.name if policy else None,
-            element_macs=element_macs,
-            rules=rules,
-            now=self.sim.now,
-            session_id=session_id,
-        )
-        # "All above flow entries can be calculated and enforced
-        # simultaneously" -- the ingress FlowMod releases the buffered
-        # first packet through the freshly installed actions.
-        for rule in rules:
-            buffer_id = (
-                event.buffer_id
-                if rule is rules[0] and rule.dpid == event.dpid
-                else None
-            )
-            self._install_rule(rule, buffer_id=buffer_id)
-        self._count("flows_installed")
-        self._flow_setup_rules_hist.observe(len(rules))
-        self.log.emit(
-            self.sim.now, EventKind.FLOW_START,
-            session=session.session_id, user_mac=src.mac, dst_mac=dst.mac,
-            policy=policy.name if policy else "default",
-            rules=len(rules),
-        )
-        if element_macs:
-            self.log.emit(
-                self.sim.now, EventKind.FLOW_STEERED,
-                session=session.session_id,
-                elements=",".join(element_macs),
-            )
-
-    def _release_along_session(
-        self, event: ofmsg.PacketIn, session: Session, flow: FlowNineTuple
-    ) -> None:
-        """A packet of an already-installed session was punted (it raced
-        the FlowMods): push it through the session's ingress actions."""
-        if session.blocked or event.buffer_id is None:
-            return
-        for rule in session.rules:
-            if rule.dpid == event.dpid and rule.match.matches(
-                event.frame, event.in_port
-            ):
-                self.send_packet_out(
-                    event.dpid, actions=rule.actions, buffer_id=event.buffer_id
-                )
-                return
-
-    def _install_rule(self, rule: RuleSpec, buffer_id: Optional[int] = None) -> None:
-        """Barrier-acked reliable install.
-
-        The FlowMod is chased by a BarrierRequest; if the BarrierReply
-        does not arrive within the send timeout (channel drop, either
-        direction) the install is re-sent with the timeout doubled,
-        up to ``INSTALL_MAX_ATTEMPTS``.  Re-sending is idempotent: ADD
-        replaces an identical entry, and a retried ``buffer_id``
-        release pops nothing if the first copy already fired.
-        """
-        if rule.dpid not in self.switches:
-            return
-        self._send_install(rule, buffer_id, attempt=1,
-                           timeout_s=self.install_timeout_s)
-
-    def _send_install(
-        self,
-        rule: RuleSpec,
-        buffer_id: Optional[int],
-        attempt: int,
-        timeout_s: float,
-    ) -> None:
-        handle = self.switches.get(rule.dpid)
-        if handle is None:
-            return
-        self.send_flow_mod(
-            rule.dpid,
-            command=ofmsg.FlowMod.ADD,
-            match=rule.match,
-            actions=rule.actions,
-            priority=rule.priority,
-            idle_timeout=rule.idle_timeout,
-            hard_timeout=rule.hard_timeout,
-            cookie=rule.cookie,
-            send_flow_removed=rule.send_flow_removed,
-            buffer_id=buffer_id,
-        )
-        xid = next(self._barrier_xids)
-        handle.channel.to_switch(ofmsg.BarrierRequest(xid=xid))
-        timer = self.sim.schedule(timeout_s, self._install_timed_out, xid)
-        self._pending_installs[xid] = _PendingInstall(
-            rule=rule, buffer_id=buffer_id, attempt=attempt,
-            timeout_s=timeout_s, timer=timer,
-        )
-
-    def on_barrier_reply(self, dpid: int, xid: int) -> None:
-        pending = self._pending_installs.pop(xid, None)
-        if pending is not None:
-            pending.timer.cancel()
-
-    def _install_timed_out(self, xid: int) -> None:
-        pending = self._pending_installs.pop(xid, None)
-        if pending is None:
-            return
-        if (
-            pending.attempt >= INSTALL_MAX_ATTEMPTS
-            or pending.rule.dpid not in self.switches
-        ):
-            self._install_failures.inc()
-            return
-        self._install_retries.inc()
-        self._send_install(
-            pending.rule, pending.buffer_id,
-            attempt=pending.attempt + 1,
-            timeout_s=pending.timeout_s * 2,
-        )
-
-    # ==================================================================
-    # Flow teardown
-
-    def on_flow_removed(self, event: ofmsg.FlowRemoved) -> None:
-        session = self.sessions.by_id(event.cookie)
-        if session is None:
-            return
-        if event.packets > 0:
-            # The session carried traffic: both endpoints were alive
-            # until the idle timeout started counting (i.e. until
-            # idle_timeout before the removal, not until now).
-            active_until = self.sim.now - self.idle_timeout_s
-            for mac in (session.src_mac, session.dst_mac):
-                record = self.nib.host_by_mac(mac)
-                if record is not None:
-                    record.last_seen = max(record.last_seen, active_until)
-        self._teardown_session(
-            session,
-            skip_rule=(event.dpid, event.match),
-            packets=event.packets,
-            bytes_=event.bytes,
-        )
-
-    def _teardown_session(
-        self,
-        session: Session,
-        skip_rule: Optional[Tuple[int, object]] = None,
-        packets: int = 0,
-        bytes_: int = 0,
-    ) -> None:
-        for rule in session.rules:
-            if skip_rule is not None and (
-                rule.dpid == skip_rule[0] and rule.match == skip_rule[1]
-            ):
-                continue
-            if rule.dpid in self.switches:
-                self.send_flow_mod(
-                    rule.dpid,
-                    command=ofmsg.FlowMod.DELETE_STRICT,
-                    match=rule.match,
-                    priority=rule.priority,
-                )
-        self.balancer.release(session.flow)
-        self.balancer.release(session.reverse_flow)
-        self.sessions.end(session)
-        self._session_duration_hist.observe(self.sim.now - session.created_at)
-        self.log.emit(
-            self.sim.now, EventKind.FLOW_END,
-            session=session.session_id, user_mac=session.src_mac,
-            packets=packets, bytes=bytes_,
-            duration=self.sim.now - session.created_at,
-        )
-
-    # ==================================================================
-    # Periodic maintenance
-
-    def _expire_hosts(self) -> None:
-        # A host with a live (unblocked) session is demonstrably
-        # present even if it has not ARPed lately -- keep it.
-        for record in self.nib.hosts.values():
-            if self.sim.now - record.last_seen <= self.nib.host_timeout_s:
-                continue
-            if any(
-                not session.blocked
-                for session in self.sessions.sessions_of_user(record.mac)
-            ):
-                record.last_seen = self.sim.now
-        for record in self.nib.expire_hosts(self.sim.now):
-            if not record.is_element:
-                self.log.emit(
-                    self.sim.now, EventKind.HOST_LEAVE,
-                    mac=record.mac, ip=record.ip,
-                )
-            for session in self.sessions.sessions_of_user(record.mac):
-                self._teardown_session(session)
-
-    def _expire_elements(self) -> None:
-        for record in self.registry.expire(self.sim.now):
-            self.log.emit(
-                self.sim.now, EventKind.ELEMENT_OFFLINE, mac=record.mac,
-                service_type=record.service_type,
-            )
-            affected = [
-                session
-                for session in self.sessions.sessions_via_element(record.mac)
-                if not session.blocked
-            ]
-            self.balancer.forget_element(record.mac)
-            for session in affected:
-                self._failover_session(session, record.mac)
-
-    # ------------------------------------------------------------------
-    # Element failover
-
-    def _failover_session(self, session: Session, dead_mac: str) -> None:
-        """Re-steer a live session whose chain lost an element.
-
-        The chain is re-dispatched through the balancer over the
-        surviving elements; if no healthy element remains the policy's
-        fail mode decides: *open* routes the session directly
-        (uninspected), *closed* blocks it at the ingress."""
-        outcome = self._attempt_failover(session, dead_mac)
-        self._failover_counters[outcome].inc()
-        self.log.emit(
-            self.sim.now, EventKind.FLOW_FAILOVER,
-            session=session.session_id, dead_element=dead_mac,
-            outcome=outcome, user_mac=session.src_mac,
-        )
-
-    def _attempt_failover(self, session: Session, dead_mac: str) -> str:
-        src = self.nib.host_by_mac(session.src_mac)
-        dst = self.nib.host_by_mac(session.dst_mac)
-        policy = self.policies.get(session.policy_name)
-        # Free the whole chain's assignments before re-resolving:
-        # surviving chain members would otherwise be counted twice
-        # when the balancer assigns the replacement chain.
-        self.balancer.release(session.flow)
-        self.balancer.release(session.reverse_flow)
-        if src is None or dst is None or policy is None:
-            self._teardown_session(session)
-            return "torn-down"
-        resolved = self._resolve_chain(policy, session.flow, src)
-        if resolved is None:
-            if self._effective_fail_mode(policy) is FailMode.CLOSED:
-                self._install_rule(
-                    drop_rule(session.flow, src, cookie=session.session_id)
-                )
-                session.blocked = True
-                self._count("flows_blocked")
-                self.log.emit(
-                    self.sim.now, EventKind.FLOW_BLOCKED,
-                    user_mac=session.src_mac, dpid=src.dpid,
-                    policy=policy.name,
-                )
-                return "fail-closed"
-            waypoints: List[HostRecord] = []
-            element_macs: List[str] = []
-            outcome = "fail-open"
-        else:
-            waypoints, element_macs = resolved
-            outcome = "recovered"
-        try:
-            new_rules = self._compute_session_rules(
-                session.flow, src, dst, waypoints, policy, session.session_id
-            )
-        except RoutingError:
-            self._teardown_session(session)
-            return "torn-down"
-        self._replace_session_rules(session, new_rules)
-        session.element_macs = tuple(element_macs)
-        return outcome
-
-    def _replace_session_rules(
-        self, session: Session, new_rules: List[RuleSpec]
-    ) -> None:
-        """Swap a session's installed entries for a new set, in place.
-
-        New entries go in first: an old entry whose (dpid, match,
-        priority) is reused is *replaced* by the FlowMod ADD rather
-        than deleted -- critically this covers the ingress entry, whose
-        deletion would raise a FlowRemoved carrying the session cookie
-        and tear the session down mid-failover.  Old entries not
-        reused are deleted silently (only the ingress entry ever
-        carries ``send_flow_removed``, and it is always reused: same
-        flow, same ingress port, same priority)."""
-        new_keys = {(r.dpid, r.match, r.priority) for r in new_rules}
-        for rule in new_rules:
-            self._install_rule(rule)
-        for rule in session.rules:
-            if (rule.dpid, rule.match, rule.priority) in new_keys:
-                continue
-            if rule.dpid in self.switches:
-                self.send_flow_mod(
-                    rule.dpid,
-                    command=ofmsg.FlowMod.DELETE_STRICT,
-                    match=rule.match,
-                    priority=rule.priority,
-                )
-        session.rules = new_rules
-
-    # ==================================================================
-    # Monitoring (port-stats polling -> link-load events)
+        self._host_tracker.refresh_announcements(force=force)
 
     def register_port_capacity(self, dpid: int, port: int, bps: float) -> None:
         """Tell the monitor a port's line rate so it can normalize load."""
-        self._port_capacity[(dpid, port)] = bps
+        self._monitor.register_port_capacity(dpid, port, bps)
 
-    def _poll_stats(self) -> None:
-        for dpid in list(self.switches):
-            self.request_port_stats(dpid)
+    @property
+    def _port_capacity(self) -> Dict[Tuple[int, int], float]:
+        return self._monitor._port_capacity
 
-    def on_port_stats(self, event: ofmsg.PortStatsReply) -> None:
-        now = self.sim.now
-        for port, stats in event.stats.items():
-            key = (event.dpid, port)
-            tx_bytes = int(stats["tx_bytes"])
-            previous = self._last_port_sample.get(key)
-            self._last_port_sample[key] = (tx_bytes, now)
-            if previous is None:
-                continue
-            prev_bytes, prev_time = previous
-            elapsed = now - prev_time
-            if elapsed <= 0:
-                continue
-            rate_bps = (tx_bytes - prev_bytes) * 8.0 / elapsed
-            capacity = self._port_capacity.get(key)
-            utilization = rate_bps / capacity if capacity else 0.0
-            if rate_bps > 0:
-                self.log.emit(
-                    now, EventKind.LINK_LOAD,
-                    dpid=event.dpid, port=port,
-                    rate_bps=rate_bps, utilization=min(1.0, utilization),
-                )
+    def _learn_host(self, mac: str, ip: Optional[str], dpid: int, port: int,
+                    is_element: bool = False) -> HostRecord:
+        return self._host_tracker.learn_host(
+            mac, ip, dpid, port, is_element=is_element
+        )
 
-    def on_flow_stats(self, event: ofmsg.FlowStatsReply) -> None:
-        for listener in list(self._flow_stats_listeners):
-            listener(event)
+    def _is_periphery_port(self, dpid: int, port: int) -> Optional[bool]:
+        return self._host_tracker.is_periphery_port(dpid, port)
 
     # ==================================================================
     # Introspection

@@ -174,6 +174,7 @@ def build_livesec_network(
     stats_interval_s: Optional[float] = 1.0,
     on_no_element: str = "allow",
     element_timeout_s: Optional[float] = None,
+    install_batching: bool = True,
     sim: Optional[Simulator] = None,
     **topology_kwargs,
 ) -> LiveSecNetwork:
@@ -206,6 +207,7 @@ def build_livesec_network(
         stats_interval_s=stats_interval_s,
         on_no_element=on_no_element,
         element_timeout_s=element_timeout_s,
+        install_batching=install_batching,
     )
     monitoring = MonitoringComponent(controller.log)
     network = LiveSecNetwork(

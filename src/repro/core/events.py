@@ -12,7 +12,7 @@ time from the ordered log.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 
 class EventKind:

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.core.events import EventKind
 from repro.core.routing import source_block_rule
 from repro.openflow.match import Match
 

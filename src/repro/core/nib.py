@@ -10,7 +10,7 @@ bidirectional ARP), plus the switch inventory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 DEFAULT_HOST_TIMEOUT_S = 120.0

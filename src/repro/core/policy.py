@@ -15,7 +15,7 @@ default when nothing matches is configurable and defaults to allow
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Tuple
 

@@ -25,8 +25,8 @@ waypoints and to hosts/elements sharing a switch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
 
 from repro.core.nib import HostRecord, NetworkInformationBase
 from repro.net.packet import FlowNineTuple

@@ -11,7 +11,7 @@ messages stop arriving are marked offline and excluded from dispatch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core import messages as svcmsg

@@ -22,10 +22,10 @@ model, exactly as the paper's deployment used.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.net import packet as pkt
-from repro.net.legacy import MAC_AGING_S, LegacySwitch
+from repro.net.legacy import LegacySwitch
 from repro.net.packet import Ethernet, extract_nine_tuple
 
 

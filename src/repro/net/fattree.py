@@ -19,7 +19,7 @@ installed multipath with a broadcast-free core.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.net.ecmp import EcmpLegacySwitch
 from repro.net.node import connect

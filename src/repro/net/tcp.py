@@ -22,7 +22,7 @@ import itertools
 from typing import Callable, Dict, Optional
 
 from repro.net import packet as pkt
-from repro.net.host import HOST_PORT, Host
+from repro.net.host import Host
 from repro.net.packet import Ethernet, IP_PROTO_TCP, Tcp
 
 MSS = 1400  # payload bytes per segment

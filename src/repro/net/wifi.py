@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.net.links import Link
-from repro.net.node import Node
 from repro.openflow.switch import OpenFlowSwitch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

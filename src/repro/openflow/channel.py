@@ -17,7 +17,7 @@ to survive this (retry with backoff, barrier-acked installs).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.openflow.messages import Message

@@ -14,7 +14,7 @@ and subclasses :class:`ControllerBase`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.net import packet as pkt
 from repro.net.packet import Ethernet, Lldp

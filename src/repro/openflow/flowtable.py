@@ -9,7 +9,7 @@ every entry whose match is wildcarded-covered by the given match.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.net.packet import Ethernet

@@ -20,7 +20,6 @@ import itertools
 from collections import OrderedDict
 from typing import Optional, Tuple
 
-from repro.net import packet as pkt
 from repro.net.node import Node
 from repro.net.packet import Ethernet
 from repro.openflow import messages as msg

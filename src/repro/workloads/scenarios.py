@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.deployment import LiveSecNetwork
 from repro.workloads.flows import AttackWebFlow, PortScanFlow, VirusDownloadFlow

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.net.host import Host
 from repro.workloads.flows import (

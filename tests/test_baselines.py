@@ -1,6 +1,5 @@
 """Unit tests for the traditional and PLayer baseline architectures."""
 
-import pytest
 
 from repro.baselines import (
     InlineMiddlebox,
@@ -11,7 +10,6 @@ from repro.baselines.traditional import INSIDE_PORT, OUTSIDE_PORT
 from repro.elements.signatures import DEFAULT_IDS_RULES
 from repro.net import packet as pkt
 from repro.net.node import Node, connect
-from repro.net.simulator import Simulator
 from repro.workloads import CbrUdpFlow
 
 

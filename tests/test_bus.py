@@ -1,0 +1,109 @@
+"""Unit tests for the deterministic controller event bus."""
+
+from repro.core.bus import ArpIn, DataPacketIn, EventBus
+from repro.obs import MetricsRegistry
+
+
+class TestDispatchOrder:
+    def test_subscription_order_is_dispatch_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(DataPacketIn, lambda e: calls.append("first"))
+        bus.subscribe(DataPacketIn, lambda e: calls.append("second"))
+        bus.subscribe(DataPacketIn, lambda e: calls.append("third"))
+        bus.publish(DataPacketIn(packet_in=None))
+        assert calls == ["first", "second", "third"]
+
+    def test_priority_overrides_subscription_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(DataPacketIn, lambda e: calls.append("late"),
+                      priority=10)
+        bus.subscribe(DataPacketIn, lambda e: calls.append("early"),
+                      priority=-10)
+        bus.subscribe(DataPacketIn, lambda e: calls.append("normal"))
+        bus.publish(DataPacketIn(packet_in=None))
+        assert calls == ["early", "normal", "late"]
+
+    def test_publish_returns_delivery_count(self):
+        bus = EventBus()
+        bus.subscribe(DataPacketIn, lambda e: None)
+        bus.subscribe(DataPacketIn, lambda e: None)
+        assert bus.publish(DataPacketIn(packet_in=None)) == 2
+        assert bus.publish(ArpIn(packet_in=None, arp=None)) == 0
+
+    def test_depth_first_nested_publish(self):
+        """An event published from inside a handler is fully handled
+        before the outer publish moves to its next subscriber."""
+        bus = EventBus()
+        calls = []
+
+        def outer_first(event):
+            calls.append("outer-first")
+            bus.publish(ArpIn(packet_in=None, arp=None))
+
+        bus.subscribe(DataPacketIn, outer_first)
+        bus.subscribe(DataPacketIn, lambda e: calls.append("outer-second"))
+        bus.subscribe(ArpIn, lambda e: calls.append("nested"))
+        bus.publish(DataPacketIn(packet_in=None))
+        assert calls == ["outer-first", "nested", "outer-second"]
+
+    def test_type_dispatch_is_exact(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(ArpIn, lambda e: calls.append("arp"))
+        bus.publish(DataPacketIn(packet_in=None))
+        assert calls == []
+
+
+class TestSubscriptionLifecycle:
+    def test_unsubscribe(self):
+        bus = EventBus()
+        calls = []
+        unsubscribe = bus.subscribe(DataPacketIn,
+                                    lambda e: calls.append("gone"))
+        bus.subscribe(DataPacketIn, lambda e: calls.append("kept"))
+        unsubscribe()
+        bus.publish(DataPacketIn(packet_in=None))
+        assert calls == ["kept"]
+
+    def test_unsubscribe_twice_is_noop(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe(DataPacketIn, lambda e: None)
+        unsubscribe()
+        unsubscribe()
+        assert bus.publish(DataPacketIn(packet_in=None)) == 0
+
+    def test_subscriptions_listing(self):
+        bus = EventBus()
+
+        def on_packet(event):
+            pass
+
+        bus.subscribe(DataPacketIn, on_packet, app="steering", priority=3)
+        (sub,) = bus.subscriptions()
+        assert sub.event == "DataPacketIn"
+        assert sub.app == "steering"
+        assert sub.handler == "on_packet"
+        assert sub.priority == 3
+
+    def test_subscriptions_sorted_by_event_name(self):
+        bus = EventBus()
+        bus.subscribe(DataPacketIn, lambda e: None, app="b")
+        bus.subscribe(ArpIn, lambda e: None, app="a")
+        events = [sub.event for sub in bus.subscriptions()]
+        assert events == ["ArpIn", "DataPacketIn"]
+
+
+class TestMetrics:
+    def test_published_events_counted_per_type(self):
+        registry = MetricsRegistry()
+        bus = EventBus(metrics=registry)
+        bus.publish(DataPacketIn(packet_in=None))
+        bus.publish(DataPacketIn(packet_in=None))
+        bus.publish(ArpIn(packet_in=None, arp=None))
+        snap = registry.snapshot()
+        assert snap.get(
+            "bus.events_published", event="DataPacketIn"
+        ).value == 2
+        assert snap.get("bus.events_published", event="ArpIn").value == 1

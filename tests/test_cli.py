@@ -98,3 +98,23 @@ class TestCommands:
 
         loaded = WebDatabase.load(path)
         assert loaded["events"]
+
+
+class TestAppsCommand:
+    def test_apps_json_lists_all_apps(self, capsys):
+        import json
+
+        assert main(["apps", "--format", "json", "--no-traffic"]) == 0
+        descriptions = json.loads(capsys.readouterr().out)
+        names = [d["name"] for d in descriptions]
+        assert names == ["host-tracker", "topology", "service-directory",
+                         "policy-engine", "steering", "monitor"]
+        for description in descriptions:
+            assert description["summary"]
+            assert isinstance(description["subscriptions"], list)
+
+    def test_apps_text_shows_traffic_counters(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "steering" in out
+        assert "DataPacketIn" in out

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Policy, PolicyTable, build_livesec_network
-from repro.core import messages as svcmsg
 from repro.core.events import EventKind
 from repro.core.policy import FlowSelector, PolicyAction
 from repro.workloads import AttackWebFlow, CbrUdpFlow, HttpFlow

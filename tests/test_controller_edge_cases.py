@@ -1,6 +1,5 @@
 """Edge cases in the controller's packet-in handling."""
 
-import pytest
 
 from repro import Policy, PolicyTable, build_livesec_network
 from repro.core import messages as svcmsg

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import build_livesec_network
-from repro.core.deployment import LiveSecNetwork
 from repro.net.simulator import Simulator
 
 

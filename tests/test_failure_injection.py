@@ -10,7 +10,6 @@
   (Section III.D.1 mobility).
 """
 
-import pytest
 
 from repro import build_livesec_network
 from repro.core.events import EventKind

@@ -1,0 +1,201 @@
+"""Unit tests for the batched barrier-acked install pipeline."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.core.routing import RuleSpec
+from repro.net.simulator import Simulator
+from repro.obs import MetricsRegistry
+from repro.openflow import messages as ofmsg
+from repro.openflow.match import Match
+from repro.openflow.pipeline import InstallPipeline
+
+
+@dataclass
+class FakeChannel:
+    sent: List[object] = field(default_factory=list)
+
+    def to_switch(self, message) -> None:
+        self.sent.append(message)
+
+
+@dataclass
+class FakeHandle:
+    dpid: int
+    channel: FakeChannel = field(default_factory=FakeChannel)
+
+
+class FakeController:
+    """Just the surface the pipeline borrows: sim, switches, the sender."""
+
+    def __init__(self, sim, dpids=(1,)):
+        self.sim = sim
+        self.switches = {dpid: FakeHandle(dpid) for dpid in dpids}
+        self.flow_mods: List[dict] = []
+
+    def send_flow_mod(self, dpid, **kwargs) -> None:
+        self.flow_mods.append({"dpid": dpid, **kwargs})
+
+
+def rule(dpid=1, tp_dst=80) -> RuleSpec:
+    return RuleSpec(dpid=dpid, match=Match(tp_dst=tp_dst), actions=())
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def barriers(controller, dpid=1):
+    return [
+        m for m in controller.switches[dpid].channel.sent
+        if isinstance(m, ofmsg.BarrierRequest)
+    ]
+
+
+class TestBatching:
+    def test_same_tick_installs_share_one_barrier(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(controller, metrics=MetricsRegistry())
+        for tp_dst in (80, 443, 8080):
+            pipeline.install(rule(tp_dst=tp_dst))
+        assert len(controller.flow_mods) == 3  # FlowMods go out immediately
+        assert barriers(controller) == []  # barrier waits for the flush
+        sim.run(0.0)
+        assert len(barriers(controller)) == 1
+        assert pipeline.flowmods_sent.value == 3
+        assert pipeline.barriers_sent.value == 1
+
+    def test_per_datapath_batches(self, sim):
+        controller = FakeController(sim, dpids=(1, 2))
+        pipeline = InstallPipeline(controller)
+        pipeline.install(rule(dpid=1))
+        pipeline.install(rule(dpid=2))
+        pipeline.install(rule(dpid=1, tp_dst=443))
+        sim.run(0.0)
+        assert len(barriers(controller, 1)) == 1
+        assert len(barriers(controller, 2)) == 1
+
+    def test_next_tick_opens_a_new_batch(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(controller)
+        pipeline.install(rule())
+        sim.run(0.01)
+        pipeline.install(rule(tp_dst=443))
+        sim.run(0.02)
+        assert len(barriers(controller)) == 2
+
+    def test_batching_off_means_barrier_per_flowmod(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(controller, batching=False)
+        pipeline.install(rule())
+        pipeline.install(rule(tp_dst=443))
+        assert len(barriers(controller)) == 2  # no flush needed
+
+    def test_unknown_datapath_is_ignored(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(controller)
+        pipeline.install(rule(dpid=99))
+        sim.run(0.0)
+        assert controller.flow_mods == []
+        assert pipeline.pending_rules() == 0
+
+
+class TestRetry:
+    def test_barrier_reply_settles_the_batch(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(controller, timeout_s=0.05)
+        pipeline.install(rule())
+        sim.run(0.0)
+        (barrier,) = barriers(controller)
+        pipeline.on_barrier_reply(1, barrier.xid)
+        sim.run(1.0)
+        assert len(controller.flow_mods) == 1  # never re-sent
+        assert pipeline.pending_rules() == 0
+
+    def test_timeout_resends_whole_batch_with_backoff(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(
+            controller, timeout_s=0.05, metrics=MetricsRegistry()
+        )
+        pipeline.install(rule())
+        pipeline.install(rule(tp_dst=443))
+        sim.run(0.0)
+        sim.run(0.06)  # first timeout fires
+        assert len(controller.flow_mods) == 4  # both rules re-sent
+        assert len(barriers(controller)) == 2
+        assert pipeline.install_retries.value == 2  # counted per rule
+        # The retry doubles the timeout: no third attempt before
+        # 0.06 + 0.1 = 0.16s on the simulated clock.
+        sim.run(0.15)
+        assert len(barriers(controller)) == 2
+        sim.run(0.17)
+        assert len(barriers(controller)) == 3
+
+    def test_gives_up_after_max_attempts(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(
+            controller, timeout_s=0.01, max_attempts=3,
+            metrics=MetricsRegistry(),
+        )
+        pipeline.install(rule())
+        sim.run(5.0)
+        assert pipeline.install_failures.value == 1
+        assert pipeline.pending_rules() == 0
+        # 3 attempts: the original send plus two retries.
+        assert len(controller.flow_mods) == 3
+
+    def test_retry_preserves_buffer_id(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(controller, timeout_s=0.05)
+        pipeline.install(rule(), buffer_id=1234)
+        sim.run(0.2)
+        assert len(controller.flow_mods) >= 2
+        assert all(m["buffer_id"] == 1234 for m in controller.flow_mods)
+
+
+class TestAbort:
+    def test_abort_drops_open_and_pending_batches(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(controller, timeout_s=0.05)
+        pipeline.install(rule())
+        sim.run(0.0)  # first batch now in flight
+        pipeline.install(rule(tp_dst=443))  # second batch still open
+        pipeline.abort_datapath(1)
+        assert pipeline.pending_rules() == 0
+        flow_mods_before = len(controller.flow_mods)
+        sim.run(1.0)  # no timer fires, nothing re-sent
+        assert len(controller.flow_mods) == flow_mods_before
+        assert len(barriers(controller)) == 1
+
+    def test_departed_datapath_fails_instead_of_retrying(self, sim):
+        controller = FakeController(sim)
+        pipeline = InstallPipeline(
+            controller, timeout_s=0.05, metrics=MetricsRegistry()
+        )
+        pipeline.install(rule())
+        sim.run(0.0)
+        del controller.switches[1]
+        sim.run(0.1)
+        assert pipeline.install_failures.value == 1
+        assert pipeline.install_retries.value == 0
+
+
+class TestIntegration:
+    def test_steering_batches_session_installs(self, steering_net):
+        """A real session setup coalesces each datapath's FlowMods
+        under one barrier: strictly fewer barriers than FlowMods."""
+        from repro.workloads import HttpFlow
+
+        net = steering_net
+        flow = HttpFlow(net.sim, net.host("h1_1"), "10.255.255.254",
+                        rate_bps=4e6, duration_s=1.0)
+        flow.start()
+        net.run(2.0)
+        pipeline = net.controller.install_pipeline
+        assert pipeline.batching
+        assert pipeline.flowmods_sent.value > 0
+        assert 0 < pipeline.barriers_sent.value < pipeline.flowmods_sent.value
+        assert net.controller.counters["flows_installed"] >= 1

@@ -1,6 +1,5 @@
 """End-to-end scenario tests crossing all subsystems."""
 
-import pytest
 
 from repro import Policy, PolicyTable, build_livesec_network
 from repro.core.events import EventKind

@@ -1,9 +1,8 @@
 """Unit tests for the legacy learning switch and spanning tree."""
 
-import pytest
 
 from repro.net import packet as pkt
-from repro.net.legacy import HELLO_INTERVAL_S, LegacySwitch
+from repro.net.legacy import LegacySwitch
 from repro.net.host import Host
 from repro.net.node import connect
 

@@ -7,7 +7,6 @@ enforced centrally instead of by "separating VLANs" in the fabric
 (the complicated mechanism the paper's Section IV.A criticizes).
 """
 
-import pytest
 
 from repro import Policy, PolicyTable, build_livesec_network
 from repro.core.policy import FlowSelector, PolicyAction

@@ -5,7 +5,7 @@ import pytest
 from repro.net.legacy import LegacySwitch
 from repro.net.node import connect
 from repro.openflow.channel import SecureChannel
-from repro.openflow.controller_base import ControllerBase, DiscoveredLink
+from repro.openflow.controller_base import ControllerBase
 from repro.openflow.switch import OpenFlowSwitch
 
 

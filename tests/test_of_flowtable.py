@@ -1,6 +1,5 @@
 """Unit tests for flow tables: priorities, timeouts, OF semantics."""
 
-import pytest
 
 from repro.net import packet as pkt
 from repro.openflow.actions import Output

@@ -3,17 +3,7 @@
 import pytest
 
 from repro.net import packet as pkt
-from repro.net.packet import (
-    Arp,
-    Ethernet,
-    FlowNineTuple,
-    IPv4,
-    Tcp,
-    Udp,
-    extract_nine_tuple,
-    ip_address,
-    mac_address,
-)
+from repro.net.packet import Arp, FlowNineTuple, Tcp, Udp, extract_nine_tuple, ip_address, mac_address
 
 
 class TestAddresses:

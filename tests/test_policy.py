@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.core.policy import (
-    FlowSelector,
-    Granularity,
-    Policy,
-    PolicyAction,
-    PolicyTable,
-)
+from repro.core.policy import FlowSelector, Policy, PolicyAction, PolicyTable
 from repro.net.packet import FlowNineTuple
 
 

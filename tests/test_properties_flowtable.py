@@ -129,7 +129,6 @@ class TestLinkProperties:
 class TestTcpProperties:
     """Property tests for the reliable transport."""
 
-    from hypothesis import strategies as _st
 
     @given(
         st.lists(st.binary(min_size=1, max_size=5000), min_size=1,

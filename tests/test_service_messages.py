@@ -101,3 +101,71 @@ class TestMalformed:
     def test_rejected(self, payload):
         with pytest.raises(svcmsg.MessageFormatError):
             svcmsg.decode(payload)
+
+
+class TestStrictCodec:
+    """The decode side rejects structurally valid but lying payloads."""
+
+    GOOD = b"LIVESEC1|cert|ONLINE|mac=m|type=ids|cpu=0.5|mem=0.5|pps=10"
+
+    @pytest.mark.parametrize("payload", [
+        # Duplicate key: last-wins would let a second copy override.
+        b"LIVESEC1|c|ONLINE|mac=m|mac=m2|type=ids|cpu=0|mem=0|pps=0",
+        # Unknown ONLINE field.
+        b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=0|mem=0|pps=0|evil=1",
+        # Unknown EVENT field (detail keys must be d.-namespaced).
+        b"LIVESEC1|c|EVENT|mac=m|kind=attack|flow=-|verdict=bad",
+        # Out-of-range loads.
+        b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=1.5|mem=0|pps=0",
+        b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=0|mem=-0.1|pps=0",
+        b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=0|mem=0|pps=-5",
+        b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=nan|mem=0|pps=0",
+        b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=inf|mem=0|pps=0",
+        b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=0|mem=0|pps=0|flows=-1",
+        # Flow tuple with a non-numeric port.
+        b"LIVESEC1|c|EVENT|mac=m|kind=x|flow=,a,b,2048,,,,,port",
+    ])
+    def test_rejected(self, payload):
+        with pytest.raises(svcmsg.MessageFormatError):
+            svcmsg.decode(payload)
+
+    def test_boundary_values_accepted(self):
+        payload = b"LIVESEC1|c|ONLINE|mac=m|type=ids|cpu=1.0|mem=0.0|pps=0"
+        decoded = svcmsg.decode(payload)
+        assert decoded.cpu == 1.0 and decoded.memory == 0.0
+
+    def test_online_full_round_trip_equality(self):
+        message = svcmsg.OnlineMessage(
+            element_mac="00:aa:bb:cc:dd:ee",
+            certificate="deadbeefcafe0000",
+            service_type="firewall",
+            cpu=0.25,
+            memory=0.75,
+            pps=42.0,
+            active_flows=3,
+        )
+        assert svcmsg.decode(svcmsg.encode_online(message)) == message
+
+
+class TestCodecRegistry:
+    def test_current_is_registered_under_magic(self):
+        assert svcmsg.CODECS[svcmsg.MAGIC] is svcmsg.CURRENT
+        assert svcmsg.CURRENT.magic == svcmsg.MAGIC
+
+    def test_new_version_dispatches_by_magic(self):
+        class V2(svcmsg.WireCodec):
+            magic = b"LIVESEC2"
+
+        svcmsg.CODECS[V2.magic] = V2()
+        try:
+            payload = (b"LIVESEC2|c|ONLINE|mac=m|type=ids"
+                       b"|cpu=0.1|mem=0.2|pps=3")
+            assert svcmsg.is_service_message(payload)
+            decoded = svcmsg.decode(payload)
+            assert decoded.element_mac == "m"
+        finally:
+            del svcmsg.CODECS[V2.magic]
+        # Once deregistered, the magic is foreign again.
+        assert not svcmsg.is_service_message(payload)
+        with pytest.raises(svcmsg.MessageFormatError):
+            svcmsg.decode(payload)

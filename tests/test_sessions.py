@@ -1,6 +1,5 @@
 """Unit tests for bidirectional session tracking."""
 
-import pytest
 
 from repro.core.sessions import SessionTable
 from repro.net.packet import FlowNineTuple

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.net.simulator import Simulator
 from repro.net.topologies import (
     AddressAllocator,
     Topology,

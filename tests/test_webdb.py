@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.events import EventKind, EventLog
 from repro.core.visualization import MonitoringComponent
-from repro.core.webdb import WebDatabase, event_to_dict, snapshot_to_dict
+from repro.core.webdb import WebDatabase
 from repro.workloads import HttpFlow
 
 GATEWAY_IP = "10.255.255.254"
