@@ -1,6 +1,6 @@
 # Convenience targets for the LiveSec reproduction.
 
-.PHONY: install test bench lint stats-smoke chaos-smoke \
+.PHONY: install test bench bench-smoke lint stats-smoke chaos-smoke \
 	chaos-determinism examples all
 
 install:
@@ -11,6 +11,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Seconds-scale microbench of the datapath hot path; exits non-zero
+# unless the indexed lookup beats the linear reference scan.  Writes
+# BENCH_flowtable.json.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_flowtable.py
 
 # ruff when available; otherwise a full-tree syntax check plus the
 # stdlib-only unused-import checker (the part of ruff we rely on).

@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 from repro.core import messages as svcmsg
 from repro.core.apps.base import App, AppContext
-from repro.core.bus import ArpIn, DhcpIn, HostExpired, UplinksLost
+from repro.core.bus import ArpIn, DhcpIn, HostExpired, HostMoved, UplinksLost
 from repro.core.events import EventKind
 from repro.core.nib import HostRecord
 from repro.net import packet as pkt
@@ -117,6 +117,11 @@ class HostTrackerApp(App):
             if not record.is_element:
                 self.ctx.log.emit(self.ctx.sim.now, kind,
                                   mac=mac, ip=ip, dpid=dpid, port=port)
+            if moved:
+                assert prior is not None
+                self.ctx.bus.publish(
+                    HostMoved(record, old_dpid=prior.dpid, old_port=prior.port)
+                )
             self.announce_host(record)
         return record
 

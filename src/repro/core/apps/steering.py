@@ -23,6 +23,9 @@ from repro.core.bus import (
     FlowBlockRequested,
     FlowRemovedIn,
     HostExpired,
+    HostMoved,
+    LinkDiscovered,
+    LinkTimedOut,
     SourceBlockRequested,
     SwitchJoined,
     SwitchLeft,
@@ -32,9 +35,9 @@ from repro.core.events import EventKind
 from repro.core.nib import HostRecord
 from repro.core.policy import FailMode, Policy
 from repro.core.routing import (
+    PathRuleCache,
     RoutingError,
     RuleSpec,
-    compute_path_rules,
     drop_rule,
     source_block_rule,
 )
@@ -65,6 +68,12 @@ class SteeringApp(App):
             batching=install_batching,
             metrics=ctx.metrics,
         )
+        # Ingress rule-computation cache: repeated PacketIns for a
+        # long-lived flow identity (a session idling out and re-forming)
+        # skip the whole path computation.  Any event that can change
+        # the NIB facts the rules embed -- host locations, uplink
+        # ports, the element chain -- invalidates it wholesale.
+        self.rule_cache = PathRuleCache()
         self._setup_metrics()
         self.listen(DataPacketIn, self.on_data_packet)
         self.listen(FlowRemovedIn, self.on_flow_removed)
@@ -76,6 +85,9 @@ class SteeringApp(App):
         self.listen(UplinksLost, self.on_uplinks_lost)
         self.listen(FlowBlockRequested, self.on_flow_block_requested)
         self.listen(SourceBlockRequested, self.on_source_block_requested)
+        self.listen(LinkDiscovered, self.on_topology_changed)
+        self.listen(LinkTimedOut, self.on_topology_changed)
+        self.listen(HostMoved, self.on_topology_changed)
 
     def _setup_metrics(self) -> None:
         registry = self.ctx.metrics
@@ -105,6 +117,24 @@ class SteeringApp(App):
             )
             for outcome in FAILOVER_OUTCOMES
         }
+        # Pull-mode gauges over the cache's own counters: nothing is
+        # added to the session-setup hot path.
+        cache = self.rule_cache
+        registry.gauge(
+            "controller.routing_cache_hits",
+            "Session setups answered from the path-rule cache",
+        ).set_function(lambda: cache.hits)
+        registry.gauge(
+            "controller.routing_cache_misses",
+            "Session setups that computed their path rules",
+        ).set_function(lambda: cache.misses)
+        registry.gauge(
+            "controller.routing_cache_invalidations",
+            "Wholesale cache clears on topology/location change",
+        ).set_function(lambda: cache.invalidations)
+        registry.gauge(
+            "controller.routing_cache_size", "Cached path-rule sets",
+        ).set_function(lambda: len(cache))
 
     # ==================================================================
     # First packets -> sessions
@@ -199,14 +229,14 @@ class SteeringApp(App):
     ) -> List[RuleSpec]:
         """Both directions' flow entries for one session (rules[0] is
         the forward ingress entry, the only one arming teardown)."""
-        forward = compute_path_rules(
+        forward = self.rule_cache.path_rules(
             self.ctx.nib, flow, src, dst, waypoints,
             idle_timeout=self.ctx.controller.idle_timeout_s,
             cookie=session_id,
         )
         inspect_reply = policy.inspect_reply if policy is not None else False
         reverse_waypoints = list(reversed(waypoints)) if inspect_reply else []
-        reverse = compute_path_rules(
+        reverse = self.rule_cache.path_rules(
             self.ctx.nib, flow.reversed(), dst, src, reverse_waypoints,
             idle_timeout=self.ctx.controller.idle_timeout_s,
             cookie=session_id,
@@ -383,10 +413,17 @@ class SteeringApp(App):
             self.teardown_session(session)
 
     def on_uplinks_lost(self, event: UplinksLost) -> None:
+        self.rule_cache.clear()
         for dpid in event.dpids:
             for session in list(self.ctx.sessions):
                 if any(rule.dpid == dpid for rule in session.rules):
                     self.teardown_session(session)
+
+    def on_topology_changed(self, event) -> None:
+        """A NIB fact the cached rules embed changed (new/removed link
+        changes uplink ports; a moved host invalidates paths through
+        its old location): drop every memoized path."""
+        self.rule_cache.clear()
 
     # ==================================================================
     # Switch lifecycle: resync and install-abort
@@ -401,6 +438,7 @@ class SteeringApp(App):
         replaced in place, with no FlowRemoved.  Stale datapath entries
         for sessions the controller no longer tracks simply idle out.
         """
+        self.rule_cache.clear()
         dpid = event.handle.dpid
         resynced = 0
         for session in self.ctx.sessions:
@@ -416,6 +454,7 @@ class SteeringApp(App):
                               dpid=dpid, rules=resynced)
 
     def on_switch_left(self, event: SwitchLeft) -> None:
+        self.rule_cache.clear()
         # Abort in-flight installs: retrying against a dead channel is
         # pointless, and a reconnect resyncs the full session state.
         self.pipeline.abort_datapath(event.handle.dpid)
@@ -427,6 +466,9 @@ class SteeringApp(App):
     # Element failover
 
     def on_element_expired(self, event: ElementExpired) -> None:
+        # Cached chains through the dead element must not be replayed
+        # by a failover re-steer or a re-forming session.
+        self.rule_cache.clear()
         affected = [
             session
             for session in self.ctx.sessions.sessions_via_element(

@@ -44,6 +44,7 @@ __all__ = [
     "BarrierReplyIn",
     # Domain events published by apps for other apps.
     "HostExpired",
+    "HostMoved",
     "ElementExpired",
     "FlowBlockRequested",
     "SourceBlockRequested",
@@ -152,6 +153,17 @@ class HostExpired:
     """The host tracker expired a silent host (carries its record)."""
 
     record: object
+
+
+@dataclass(frozen=True, eq=False)
+class HostMoved:
+    """A known host was re-learned at a different switch/port (VM
+    migration, wired-to-wifi roam).  ``record`` is the updated NIB row;
+    the old location rides along for caches keyed by it."""
+
+    record: object
+    old_dpid: int
+    old_port: int
 
 
 @dataclass(frozen=True, eq=False)

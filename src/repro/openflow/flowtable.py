@@ -3,20 +3,44 @@
 Semantics follow OpenFlow 1.0: the highest-priority matching entry
 wins; an entry with an idle timeout expires when unused for that long;
 a hard timeout bounds total lifetime; adding an entry with an identical
-match and priority replaces the old one; non-strict delete removes
-every entry whose match is wildcarded-covered by the given match.
+match and priority replaces the old one; non-strict delete/modify
+affect every entry whose match is wildcarded-covered by the given
+match; strict delete requires exact match *and* priority equality.
+
+Lookup is two-tier.  Fully-specified matches (the paper's 9-tuple +
+in_port, :meth:`Match.exact_index_key`) live in a hash index keyed by
+the frame's extracted key -- the common case, since every steering
+rule is derived from a concrete first packet.  Matches with genuine
+wildcards (source blocks, table-miss catch-alls) live in a small list
+ordered like the classic linear scan.  A lookup takes the best exact
+candidate, scans the wildcard list only while it could still win, and
+breaks priority ties by insertion sequence -- observably identical to
+the linear reference scan, which is kept as :meth:`_lookup_linear` and
+property-tested against the index.
+
+Expiry is driven by a lazy min-heap of (deadline, entry): every lookup
+first evicts the entries whose deadline has passed (so the table never
+serves -- or counts -- dead entries), and the periodic sweep only pops
+the heap instead of scanning the whole table.  Idle refreshes leave a
+stale heap node behind; it is re-sorted on pop, never rescanned.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.packet import Ethernet
 from repro.openflow.actions import Action
-from repro.openflow.match import Match
+from repro.openflow.match import Match, frame_index_key
 
 DEFAULT_PRIORITY = 100
+
+# Observe the lookup-latency histogram every Nth lookup: the wall-clock
+# clock reads would otherwise dominate the fast path they measure.
+LATENCY_SAMPLE_STRIDE = 64
 
 
 @dataclass
@@ -38,6 +62,10 @@ class FlowEntry:
     last_used_at: float = 0.0
     packets: int = 0
     bytes: int = 0
+    # Table-internal bookkeeping: insertion sequence (priority
+    # tie-break) and residency (lazy heap nodes outlive evicted rows).
+    seq: int = field(default=0, compare=False, repr=False)
+    resident: bool = field(default=False, compare=False, repr=False)
 
     @property
     def is_drop(self) -> bool:
@@ -57,6 +85,17 @@ class FlowEntry:
             return "idle"
         return None
 
+    def next_deadline(self) -> Optional[float]:
+        """The earliest future time this entry could expire, or None."""
+        deadline = None
+        if self.hard_timeout > 0:
+            deadline = self.created_at + self.hard_timeout
+        if self.idle_timeout > 0:
+            idle_deadline = self.last_used_at + self.idle_timeout
+            if deadline is None or idle_deadline < deadline:
+                deadline = idle_deadline
+        return deadline
+
     def __str__(self) -> str:
         acts = ",".join(str(a) for a in self.actions) or "drop"
         return f"[prio={self.priority} {self.match} -> {acts}]"
@@ -70,13 +109,36 @@ class _RemovedEntry:
     reason: str
 
 
+def _order_key(entry: FlowEntry) -> Tuple[int, int]:
+    """Linear-scan position: descending priority, then insertion order."""
+    return (-entry.priority, entry.seq)
+
+
 class FlowTable:
-    """A single OpenFlow 1.0-style flow table."""
+    """A single OpenFlow 1.0-style flow table with an indexed fast path."""
 
     def __init__(self) -> None:
+        # Master view, kept in linear-scan order for iteration, stats
+        # and the control-plane operations (delete/modify are rare).
         self._entries: List[FlowEntry] = []
+        # (match, priority) -> entry: O(1) add-replace and strict delete.
+        self._by_key: Dict[Tuple[Match, int], FlowEntry] = {}
+        # Exact-index buckets (distinct priorities share one bucket).
+        self._exact: Dict[Tuple, List[FlowEntry]] = {}
+        # Wildcard entries in linear-scan order.
+        self._wild: List[FlowEntry] = []
+        # Lazy expiry heap of (deadline, seq, entry); stale nodes are
+        # dropped on pop via the entry's residency flag.
+        self._heap: List[Tuple[float, int, FlowEntry]] = []
+        self._seq = 0
+        self._observed_removals: List[_RemovedEntry] = []
         self.lookups = 0
         self.matched = 0
+        self.exact_hits = 0
+        self.wildcard_hits = 0
+        self.misses = 0
+        self.evicted_on_lookup = 0
+        self._latency_hist = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -87,30 +149,108 @@ class FlowTable:
     def entries(self) -> Sequence[FlowEntry]:
         return tuple(self._entries)
 
+    def wildcard_entries(self) -> Sequence[FlowEntry]:
+        """The entries outside the exact index (tests/introspection)."""
+        return tuple(self._wild)
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def attach_metrics(self, registry, **labels) -> None:
+        """Publish index effectiveness through an obs registry.
+
+        Hit/miss counts are pull-mode gauges reading the live counters
+        (nothing added to the per-frame fast path); the latency
+        histogram samples every ``LATENCY_SAMPLE_STRIDE``-th lookup.
+        """
+        registry.gauge(
+            "switch.lookup_exact_hits",
+            "Lookups answered by the exact-match hash index", **labels,
+        ).set_function(lambda: self.exact_hits)
+        registry.gauge(
+            "switch.lookup_wildcard_hits",
+            "Lookups answered by the wildcard list", **labels,
+        ).set_function(lambda: self.wildcard_hits)
+        registry.gauge(
+            "switch.lookup_misses", "Lookups with no live match", **labels,
+        ).set_function(lambda: self.misses)
+        registry.gauge(
+            "switch.lookup_evictions",
+            "Expired entries evicted during lookups", **labels,
+        ).set_function(lambda: self.evicted_on_lookup)
+        self._latency_hist = registry.histogram(
+            "switch.lookup_latency_s",
+            "Wall-clock flow-table lookup cost (sampled)", **labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+
     def add(self, entry: FlowEntry, now: float) -> None:
         """Insert, replacing any entry with identical match+priority."""
         entry.created_at = now
         entry.last_used_at = now
-        self._entries = [
-            e
-            for e in self._entries
-            if not (e.match == entry.match and e.priority == entry.priority)
-        ]
+        old = self._by_key.get((entry.match, entry.priority))
+        if old is not None:
+            self._discard(old)
+        self._seq += 1
+        entry.seq = self._seq
+        entry.resident = True
+        self._by_key[(entry.match, entry.priority)] = entry
+        # Append + stable sort: the list is already sorted, so Timsort
+        # is near-linear, and equal priorities keep insertion order.
         self._entries.append(entry)
-        # Keep sorted by descending priority, stable on insertion order,
-        # so lookup can return the first hit.
-        self._entries.sort(key=lambda e: -e.priority)
+        self._entries.sort(key=_order_key)
+        key = entry.match.exact_index_key()
+        if key is not None:
+            self._exact.setdefault(key, []).append(entry)
+        else:
+            self._wild.append(entry)
+            self._wild.sort(key=_order_key)
+        deadline = entry.next_deadline()
+        if deadline is not None:
+            heapq.heappush(self._heap, (deadline, entry.seq, entry))
+
+    def _discard(self, entry: FlowEntry) -> None:
+        """Unlink an entry from every structure (not the heap: its node
+        is skipped on pop via the residency flag)."""
+        entry.resident = False
+        for index, existing in enumerate(self._entries):
+            if existing is entry:
+                del self._entries[index]
+                break
+        if self._by_key.get((entry.match, entry.priority)) is entry:
+            del self._by_key[(entry.match, entry.priority)]
+        key = entry.match.exact_index_key()
+        if key is not None:
+            bucket = self._exact.get(key)
+            if bucket is not None:
+                for index, existing in enumerate(bucket):
+                    if existing is entry:
+                        del bucket[index]
+                        break
+                if not bucket:
+                    del self._exact[key]
+        else:
+            for index, existing in enumerate(self._wild):
+                if existing is entry:
+                    del self._wild[index]
+                    break
 
     def modify(self, match: Match, actions: Tuple[Action, ...], now: float,
                strict_priority: Optional[int] = None) -> int:
-        """OpenFlow MODIFY: update actions of matching entries in place,
-        preserving counters.  Returns the number modified."""
+        """OpenFlow MODIFY: update actions of covered entries in place,
+        preserving counters.  Returns the number modified.
+
+        Mirrors non-strict delete's direction (OF 1.0): only entries
+        whose match is wildcarded-covered by ``match`` are touched, a
+        broader entry is never rewritten by a narrower MODIFY.
+        """
         count = 0
         for entry in self._entries:
             if strict_priority is not None and entry.priority != strict_priority:
                 continue
-            if entry.match == match or match.is_subset_of(entry.match) \
-                    or entry.match.is_subset_of(match):
+            if entry.match.is_subset_of(match):
                 entry.actions = actions
                 count += 1
         return count
@@ -120,24 +260,123 @@ class FlowTable:
         """OpenFlow DELETE: remove matching entries and return them.
 
         Non-strict (default) removes every entry whose match is covered
-        by ``match``; strict requires exact match+priority equality.
+        by ``match``; strict requires exact match equality *and* an
+        explicit priority (OF 1.0 strict semantics -- a strict delete
+        that spans priorities is a caller bug).
         """
-        removed: List[FlowEntry] = []
-        kept: List[FlowEntry] = []
-        for entry in self._entries:
-            if strict:
-                hit = entry.match == match and (
-                    priority is None or entry.priority == priority
+        if strict:
+            if priority is None:
+                raise ValueError(
+                    "strict delete requires an explicit priority (OF 1.0)"
                 )
-            else:
-                hit = entry.match.is_subset_of(match)
-            (removed if hit else kept).append(entry)
-        self._entries = kept
+            entry = self._by_key.get((match, priority))
+            if entry is None:
+                return []
+            self._discard(entry)
+            return [entry]
+        removed = [e for e in self._entries if e.match.is_subset_of(match)]
+        for entry in removed:
+            self._discard(entry)
         return removed
+
+    # ------------------------------------------------------------------
+    # Expiry
+
+    def _evict_due(self, now: float) -> None:
+        """Pop every entry whose deadline has passed; refreshed entries
+        are re-pushed with their current deadline."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, seq, entry = heapq.heappop(heap)
+            if not entry.resident:
+                continue
+            reason = entry.expired(now)
+            if reason is None:
+                # Idle deadline moved by traffic since the push.
+                deadline = entry.next_deadline()
+                if deadline is not None:
+                    if deadline <= now:
+                        # expired() subtracts while the deadline adds;
+                        # float rounding can disagree by one ulp.  The
+                        # heap is only a wake-up schedule -- expired()
+                        # stays the oracle -- but the re-push must land
+                        # strictly after ``now`` or this loop never
+                        # terminates.
+                        deadline = math.nextafter(now, math.inf)
+                    heapq.heappush(heap, (deadline, seq, entry))
+                continue
+            self._discard(entry)
+            self._observed_removals.append(_RemovedEntry(entry, reason))
+
+    def take_removed(self) -> Sequence[_RemovedEntry]:
+        """Drain entries evicted since the last drain (lookup-observed
+        expiries awaiting their FlowRemoved)."""
+        if not self._observed_removals:
+            return ()
+        removed, self._observed_removals = self._observed_removals, []
+        return removed
+
+    def expire(self, now: float) -> List[_RemovedEntry]:
+        """Evict expired entries, returning them with their reasons."""
+        self._evict_due(now)
+        return list(self.take_removed())
+
+    # ------------------------------------------------------------------
+    # Lookup
 
     def lookup(self, frame: Ethernet, in_port: int, now: float) -> Optional[FlowEntry]:
         """The highest-priority live entry matching the frame, touching
-        its counters; None on table miss."""
+        its counters; None on table miss.
+
+        Expired-but-unevicted entries are evicted first (drain them via
+        :meth:`take_removed` for FlowRemoved), so the table's length
+        always agrees with what the datapath honors.
+        """
+        self.lookups += 1
+        if self._latency_hist is not None and \
+                self.lookups % LATENCY_SAMPLE_STRIDE == 0:
+            with self._latency_hist.time():
+                return self._lookup_indexed(frame, in_port, now)
+        return self._lookup_indexed(frame, in_port, now)
+
+    def _lookup_indexed(
+        self, frame: Ethernet, in_port: int, now: float
+    ) -> Optional[FlowEntry]:
+        self._evict_due(now)
+        best: Optional[FlowEntry] = None
+        bucket = self._exact.get(frame_index_key(frame, in_port))
+        if bucket:
+            for entry in bucket:
+                if (best is None or _order_key(entry) < _order_key(best)) \
+                        and entry.match.matches(frame, in_port):
+                    best = entry
+        exact = best is not None
+        if self._wild:
+            limit = _order_key(best) if best is not None else None
+            for entry in self._wild:
+                if limit is not None and _order_key(entry) > limit:
+                    break
+                if entry.match.matches(frame, in_port):
+                    best = entry
+                    exact = False
+                    break
+        if best is None:
+            self.misses += 1
+            return None
+        best.touch(now, frame.size)
+        self.matched += 1
+        if exact:
+            self.exact_hits += 1
+        else:
+            self.wildcard_hits += 1
+        return best
+
+    def _lookup_linear(
+        self, frame: Ethernet, in_port: int, now: float
+    ) -> Optional[FlowEntry]:
+        """The pre-index reference scan, kept verbatim as the semantic
+        oracle: the property suite asserts ``lookup`` is observably
+        identical to this on every frame."""
         self.lookups += 1
         for entry in self._entries:
             if entry.expired(now):
@@ -147,19 +386,6 @@ class FlowTable:
                 self.matched += 1
                 return entry
         return None
-
-    def expire(self, now: float) -> List[_RemovedEntry]:
-        """Evict expired entries, returning them with their reasons."""
-        removed: List[_RemovedEntry] = []
-        kept: List[FlowEntry] = []
-        for entry in self._entries:
-            reason = entry.expired(now)
-            if reason is None:
-                kept.append(entry)
-            else:
-                removed.append(_RemovedEntry(entry, reason))
-        self._entries = kept
-        return removed
 
     def __repr__(self) -> str:
         return f"<FlowTable entries={len(self._entries)} lookups={self.lookups}>"

@@ -8,9 +8,18 @@ and ``nw_tos``; :meth:`Match.from_nine_tuple` bridges the two.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.net.packet import Ethernet, FlowNineTuple, Tcp, Udp, extract_nine_tuple
+from repro.net.packet import (
+    ETH_TYPE_IP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    Ethernet,
+    FlowNineTuple,
+    Tcp,
+    Udp,
+    extract_nine_tuple,
+)
 
 
 @dataclass(frozen=True)
@@ -101,6 +110,53 @@ class Match:
                 return False
         return True
 
+    def exact_index_key(self) -> Optional[Tuple]:
+        """The hash key of a fully-specified match, or None if wildcard.
+
+        A match is *exact-indexable* when every frame it matches
+        produces the same :func:`frame_index_key` -- i.e. each keyed
+        field is either set, or forced to extract as None by the set
+        fields (a non-IP ``dl_type`` forces the network/transport
+        fields None; a non-TCP/UDP ``nw_proto`` forces the port fields
+        None).  ``dl_vlan`` is deliberately *not* part of the key (a
+        wildcarded VLAN would otherwise be unindexable for every
+        untagged flow); candidates found under the key are re-verified
+        with :meth:`matches`, which checks it.  ``dl_vlan_pcp`` and
+        ``nw_tos`` are outside the 9-tuple and force the wildcard path
+        when set.
+        """
+        if self.dl_vlan_pcp is not None or self.nw_tos is not None:
+            return None
+        if (
+            self.in_port is None
+            or self.dl_src is None
+            or self.dl_dst is None
+            or self.dl_type is None
+        ):
+            return None
+        if self.dl_type == ETH_TYPE_IP:
+            if self.nw_src is None or self.nw_dst is None \
+                    or self.nw_proto is None:
+                return None
+            if self.nw_proto in (IP_PROTO_TCP, IP_PROTO_UDP):
+                if self.tp_src is None or self.tp_dst is None:
+                    return None
+            elif self.tp_src is not None or self.tp_dst is not None:
+                return None
+        elif (
+            self.nw_src is not None
+            or self.nw_dst is not None
+            or self.nw_proto is not None
+            or self.tp_src is not None
+            or self.tp_dst is not None
+        ):
+            return None
+        return (
+            self.in_port, self.dl_src, self.dl_dst, self.dl_type,
+            self.nw_src, self.nw_dst, self.nw_proto,
+            self.tp_src, self.tp_dst,
+        )
+
     def __str__(self) -> str:
         set_fields = ", ".join(
             f"{f.name}={getattr(self, f.name)}"
@@ -108,3 +164,23 @@ class Match:
             if getattr(self, f.name) is not None
         )
         return f"Match({set_fields or 'any'})"
+
+
+def frame_index_key(frame: Ethernet, in_port: int) -> Tuple:
+    """The exact-match hash key of a concrete frame arriving on a port.
+
+    Mirrors :meth:`Match.exact_index_key`: in_port plus the 9-tuple,
+    minus the VLAN tag, with transport ports normalized to None unless
+    the IP protocol is TCP/UDP (matching the indexability rule).
+    """
+    ip = frame.ip()
+    if ip is None:
+        return (in_port, frame.src, frame.dst, frame.ethertype,
+                None, None, None, None, None)
+    tp_src = tp_dst = None
+    if ip.proto == IP_PROTO_TCP or ip.proto == IP_PROTO_UDP:
+        segment = ip.payload
+        if isinstance(segment, (Tcp, Udp)):
+            tp_src, tp_dst = segment.sport, segment.dport
+    return (in_port, frame.src, frame.dst, frame.ethertype,
+            ip.src, ip.dst, ip.proto, tp_src, tp_dst)

@@ -110,12 +110,20 @@ class OpenFlowSwitch(Node):
             "switch.packets_dropped",
             "Frames dropped (drop entries, dead channel)", **labels,
         ).set_function(lambda: self.packets_dropped)
+        self.table.attach_metrics(registry, **labels)
 
     # ------------------------------------------------------------------
     # Data plane
 
     def receive(self, frame: Ethernet, in_port: int) -> None:
         entry = self.table.lookup(frame, in_port, self.sim.now)
+        # Entries observed expired are evicted by the lookup itself, so
+        # table occupancy and FlowRemoved timing always agree with what
+        # the datapath honored -- notify the controller immediately
+        # instead of waiting for the next sweep tick.
+        for removed in self.table.take_removed():
+            if removed.entry.send_flow_removed:
+                self._send_flow_removed(removed.entry, removed.reason)
         if entry is None:
             self._punt_to_controller(frame, in_port, reason="no_match")
             return

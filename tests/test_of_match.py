@@ -1,10 +1,12 @@
 """Unit tests for the OpenFlow 12-tuple match."""
 
+import dataclasses
+
 import pytest
 
 from repro.net import packet as pkt
 from repro.net.packet import extract_nine_tuple
-from repro.openflow.match import Match
+from repro.openflow.match import Match, frame_index_key
 
 
 @pytest.fixture
@@ -82,6 +84,58 @@ class TestNineTupleBridge:
         reply = pkt.make_tcp("m2", "m1", "2.2.2.2", "1.1.1.1", 80, 1000)
         assert match.matches(reply, 5)
         assert not match.matches(tcp_frame, 5)
+
+
+class TestExactIndexKey:
+    """The hash-index contract: a match is indexable exactly when every
+    frame it accepts produces the same ``frame_index_key``."""
+
+    def test_exact_tcp_match_is_indexable(self, tcp_frame):
+        match = Match.from_frame(tcp_frame, in_port=3)
+        key = match.exact_index_key()
+        assert key is not None
+        assert key == frame_index_key(tcp_frame, 3)
+
+    def test_exact_matches_for_every_kind_are_indexable(self):
+        frames = [
+            pkt.make_udp("m1", "m2", "1.1.1.1", "2.2.2.2", 5, 53),
+            pkt.make_icmp_echo("m1", "m2", "1.1.1.1", "2.2.2.2"),
+            pkt.make_arp_request("m1", "1.1.1.1", "2.2.2.2"),
+            pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1, 2, vlan=9),
+        ]
+        for frame in frames:
+            match = Match.from_frame(frame, in_port=1)
+            key = match.exact_index_key()
+            assert key is not None, frame
+            assert key == frame_index_key(frame, 1)
+
+    def test_partial_wildcards_are_not_indexable(self, tcp_frame):
+        assert Match().exact_index_key() is None
+        assert Match(tp_dst=80).exact_index_key() is None
+        exact = Match.from_frame(tcp_frame, in_port=1)
+        for field in ("in_port", "dl_src", "dl_dst", "dl_type",
+                      "nw_src", "nw_dst", "nw_proto", "tp_src", "tp_dst"):
+            widened = dataclasses.replace(exact, **{field: None})
+            assert widened.exact_index_key() is None, field
+
+    def test_vlan_wildcard_shares_bucket_with_tagged(self, tcp_frame):
+        """VLAN is deliberately left out of the key, so tagged and
+        untagged exact matches collide -- ``matches`` re-verifies."""
+        tagged = pkt.make_tcp("m1", "m2", "1.1.1.1", "2.2.2.2", 1000, 80,
+                              vlan=7)
+        untagged_match = Match.from_frame(tcp_frame, in_port=1)
+        tagged_match = Match.from_frame(tagged, in_port=1)
+        assert untagged_match.exact_index_key() == \
+            tagged_match.exact_index_key()
+        assert not tagged_match.matches(tcp_frame, 1)
+
+    def test_frame_key_ignores_ports_on_non_tcp_udp(self):
+        """tp fields are only meaningful for TCP/UDP; an ICMP frame's
+        key pins them to None, matching ``extract_nine_tuple``."""
+        echo = pkt.make_icmp_echo("m1", "m2", "1.1.1.1", "2.2.2.2")
+        key = frame_index_key(echo, 2)
+        assert key[-2:] == (None, None)
+        assert key == Match.from_frame(echo, in_port=2).exact_index_key()
 
 
 class TestSubset:

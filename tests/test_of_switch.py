@@ -229,6 +229,25 @@ class TestFlowRemoved:
         sim.run(until=sim.now + 0.2)
         assert ctrl.flow_removed[0].reason == "delete"
 
+    def test_expiry_observed_by_lookup_notifies_before_sweep(self, sim, setup):
+        """A frame arriving after an entry's deadline evicts it and
+        emits FlowRemoved immediately -- not at the next sweep tick."""
+        switch, ctrl, a, b, _ = setup
+        ctrl.send_flow_mod(
+            7, msg.FlowMod.ADD, Match(), actions=(Output(2),),
+            idle_timeout=1.0, send_flow_removed=True, cookie=42,
+        )
+        # Installed ~t=0.2, so the idle deadline lands ~t=1.2: after the
+        # switch's first sweep tick (~1.007) but before the next (~2.007).
+        sim.run(until=1.5)
+        assert ctrl.flow_removed == []
+        switch.receive(data_frame(), 1)
+        sim.run(until=1.7)  # still before the 2.007 sweep
+        assert len(ctrl.flow_removed) == 1
+        removed = ctrl.flow_removed[0]
+        assert removed.reason == "idle" and removed.cookie == 42
+        assert len(ctrl.packet_ins) == 1  # the observing frame missed
+
     def test_no_notification_without_flag(self, sim, setup):
         switch, ctrl, a, b, _ = setup
         ctrl.send_flow_mod(7, msg.FlowMod.ADD, Match(), actions=(Output(2),),
