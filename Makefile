@@ -1,7 +1,7 @@
 # Convenience targets for the LiveSec reproduction.
 
 .PHONY: install test bench bench-smoke lint stats-smoke chaos-smoke \
-	chaos-determinism examples all
+	chaos-determinism replay-smoke examples all
 
 install:
 	python setup.py develop
@@ -12,11 +12,12 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
-# Seconds-scale microbench of the datapath hot path; exits non-zero
-# unless the indexed lookup beats the linear reference scan.  Writes
-# BENCH_flowtable.json.
+# Seconds-scale microbenches of the two scan-vs-index hot paths; each
+# exits non-zero unless the indexed/checkpointed path beats its linear
+# reference oracle.  Writes BENCH_flowtable.json + BENCH_eventlog.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_flowtable.py
+	PYTHONPATH=src python benchmarks/bench_eventlog.py
 
 # ruff when available; otherwise a full-tree syntax check plus the
 # stdlib-only unused-import checker (the part of ruff we rely on).
@@ -48,6 +49,22 @@ chaos-determinism:
 		echo "chaos digest mismatch: '$$a' vs '$$b'"; exit 1; \
 	else \
 		echo "chaos determinism OK ($$a)"; \
+	fi
+
+# Record a seeded scenario's event log to JSONL, replay it from disk,
+# and require the replayed digest to match the live run's exactly.
+replay-smoke:
+	@PYTHONPATH=src python -m repro chaos --seed 0 \
+		--record /tmp/replay-live.jsonl | tee /tmp/replay-live.txt
+	@PYTHONPATH=src python -m repro replay /tmp/replay-live.jsonl --at 6.0
+	@PYTHONPATH=src python -m repro replay /tmp/replay-live.jsonl \
+		--digest-only | tee /tmp/replay-again.txt
+	@a=$$(grep -o 'digest [0-9a-f]\{64\}' /tmp/replay-live.txt); \
+	b=$$(grep -o 'digest [0-9a-f]\{64\}' /tmp/replay-again.txt); \
+	if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+		echo "replay digest mismatch: '$$a' vs '$$b'"; exit 1; \
+	else \
+		echo "replay round trip OK ($$a)"; \
 	fi
 
 examples:

@@ -13,7 +13,10 @@ without writing a script:
                      observability snapshot (text, JSON, or Prometheus),
 * ``chaos``       -- seeded fault-injection run (element crashes, optional
                      OpenFlow-channel drops) scoring the controller's
-                     failure recovery,
+                     failure recovery; ``--record`` saves the event log
+                     as JSONL,
+* ``replay``      -- reconstruct and render any past moment of a recorded
+                     run from a JSONL event-log file,
 * ``scale``       -- build the paper-scale FIT deployment and print the
                      controller's view of it,
 * ``apps``        -- list the controller's loaded apps with their bus
@@ -237,6 +240,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         crash=args.crash,
         duration_s=args.duration,
         channel_drop_rate=args.channel_drop_rate,
+        record_jsonl=args.record,
     )
     if args.format == "json":
         import json
@@ -244,6 +248,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render_text())
+    if args.record:
+        print(f"recorded {report.events} events to {args.record}"
+              f" (digest {report.event_digest})")
     if args.assert_recovered and report.unrecovered_sessions > 0:
         print(f"FAIL: {report.unrecovered_sessions} session(s) left"
               " unrecovered", file=sys.stderr)
@@ -296,6 +303,32 @@ def cmd_apps(args: argparse.Namespace) -> int:
             for event, count in description["counters"].items():
                 print(f"    {event:<22} {count}")
         print()
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.events import EventLog
+    from repro.core.visualization import MonitoringComponent
+
+    log = EventLog.load(args.file)
+    monitoring = MonitoringComponent(log)
+    if args.digest_only:
+        print(f"{len(log)} events, digest {log.digest()}")
+        return 0
+    snapshot = (
+        monitoring.replay(until=args.at) if args.at is not None
+        else monitoring.snapshot()
+    )
+    if args.format == "json":
+        import json
+
+        from repro.core.webdb import snapshot_to_dict
+
+        print(json.dumps(snapshot_to_dict(snapshot), indent=2))
+        print(f"{len(log)} events, digest {log.digest()}", file=sys.stderr)
+    else:
+        print(render_snapshot(snapshot))
+        print(f"\n{len(log)} events, digest {log.digest()}")
     return 0
 
 
@@ -379,7 +412,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--assert-recovered", action="store_true",
                        dest="assert_recovered",
                        help="exit 1 if any session is left unrecovered")
+    chaos.add_argument("--record", metavar="PATH", default=None,
+                       help="save the run's event log as JSONL for"
+                            " 'repro replay'")
     chaos.set_defaults(func=cmd_chaos)
+
+    replay = sub.add_parser(
+        "replay",
+        help="reconstruct a recorded run's view from a JSONL event log",
+    )
+    replay.add_argument("file", help="JSONL event-log file (from"
+                                     " 'chaos --record' or EventLog.save)")
+    replay.add_argument("--at", type=float, default=None,
+                        help="render the view at this moment (default:"
+                             " after the last event)")
+    replay.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    replay.add_argument("--digest-only", action="store_true",
+                        dest="digest_only",
+                        help="print only the event count and sha256 digest")
+    replay.set_defaults(func=cmd_replay)
 
     scale = sub.add_parser("scale", help="paper-scale FIT deployment")
     scale.set_defaults(func=cmd_scale)

@@ -60,7 +60,8 @@ class TopologyApp(App):
         if not pair_was_known:
             self.ctx.log.emit(
                 self.ctx.sim.now, EventKind.LINK_UP,
-                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
+                src_dpid=link.src_dpid, src_port=link.src_port,
+                dst_dpid=link.dst_dpid, dst_port=link.dst_port,
             )
 
     def on_link_timed_out(self, event: LinkTimedOut) -> None:
@@ -76,9 +77,12 @@ class TopologyApp(App):
             self.ctx.controller.known_links(), self.ctx.sim.now
         )
         if self.ctx.nib.link(link.src_dpid, link.dst_dpid) is None:
+            # Ports ride along so the monitoring view can drop the dead
+            # ports' link-load readings.
             self.ctx.log.emit(
                 self.ctx.sim.now, EventKind.LINK_DOWN,
-                src_dpid=link.src_dpid, dst_dpid=link.dst_dpid,
+                src_dpid=link.src_dpid, src_port=link.src_port,
+                dst_dpid=link.dst_dpid, dst_port=link.dst_port,
             )
         # Fabric failover: a switch whose uplink set shrank may have
         # live sessions forwarding into the dead path -- and those

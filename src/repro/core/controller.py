@@ -145,6 +145,7 @@ class LiveSecController(ControllerBase):
         element_timeout_s: Optional[float] = None,
         install_timeout_s: float = DEFAULT_INSTALL_TIMEOUT_S,
         install_batching: bool = True,
+        event_retention: Optional[int] = None,
     ):
         super().__init__(sim, lldp_enabled=lldp_enabled)
         if on_no_element not in ("allow", "drop"):
@@ -161,12 +162,16 @@ class LiveSecController(ControllerBase):
         self.balancer = LoadBalancer(make_dispatcher(dispatcher))
         self.sessions = SessionTable()
         self.directory = DirectoryProxy(self.nib)
-        self.log = EventLog()
         self.idle_timeout_s = idle_timeout_s
         self.on_no_element = on_no_element
         self.install_timeout_s = install_timeout_s
         # Observability: one registry for every subsystem's metrics.
+        # Created before the event log so the log's gauges register too.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # ``event_retention`` bounds event-log memory: segments older
+        # than the N newest sealed ones compact load samples to
+        # last-value-per-key (None keeps the history lossless).
+        self.log = EventLog(retention=event_retention, metrics=self.metrics)
         setup_controller_metrics(self)
         # The bus and the apps.  Construction order is the dispatch
         # tie-break order (subscription seq) and ``start()`` order is

@@ -175,6 +175,7 @@ def build_livesec_network(
     on_no_element: str = "allow",
     element_timeout_s: Optional[float] = None,
     install_batching: bool = True,
+    event_retention: Optional[int] = None,
     sim: Optional[Simulator] = None,
     **topology_kwargs,
 ) -> LiveSecNetwork:
@@ -208,6 +209,7 @@ def build_livesec_network(
         on_no_element=on_no_element,
         element_timeout_s=element_timeout_s,
         install_batching=install_batching,
+        event_retention=event_retention,
     )
     monitoring = MonitoringComponent(controller.log)
     network = LiveSecNetwork(

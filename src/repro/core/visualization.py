@@ -4,12 +4,15 @@ The paper's WebUI shows, live: the (full-mesh) logical topology, user
 join/leave, link load, which user consumes which application service,
 and where attacks happen -- and can replay history.  The Flash/LAMP
 stack is replaced by an in-process monitoring component: it subscribes
-to the global :class:`~repro.core.events.EventLog` (the "monitoring
-component ... records it to the database"), maintains the live view,
-and reconstructs any past moment by replaying the ordered log.
+to the global :class:`~repro.core.events.EventLog` (the single source
+of truth -- there is no second "database" copy), maintains the live
+view, and takes a snapshot *checkpoint* every ``checkpoint_interval``
+events.  :meth:`MonitoringComponent.replay` then starts from the
+nearest checkpoint at or before the requested moment and folds only
+the delta -- O(events since checkpoint), not O(whole history).
 
 :func:`render_snapshot` produces the text rendering used by the
-examples and the Figure 7/8 benches.
+examples, the Figure 7/8 benches, and ``python -m repro replay``.
 """
 
 from __future__ import annotations
@@ -19,6 +22,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.events import EventKind, EventLog, NetworkEvent
+
+DEFAULT_CHECKPOINT_INTERVAL = 256
+DEFAULT_MAX_CHECKPOINTS = 64
 
 
 @dataclass
@@ -62,43 +68,115 @@ class Snapshot:
         return [u for u in self.users.values() if u.online]
 
     def full_mesh(self) -> bool:
+        """Every switch pair connected, treating links as undirected
+        (LLDP records whichever direction discovery confirmed first)."""
         dpids = self.switches
         if len(dpids) < 2:
             return True
-        have = set(self.links)
+        have = {frozenset(pair) for pair in self.links}
         return all(
-            (a, b) in have for a in dpids for b in dpids if a != b
+            frozenset((a, b)) in have
+            for a in dpids for b in dpids if a != b
         )
 
 
-class MonitoringComponent:
-    """Event-sourced live view + history replay."""
+@dataclass
+class _Checkpoint:
+    """A materialized snapshot of the fold at one point in the log."""
 
-    def __init__(self, log: EventLog):
+    seq: int  # sequence number of the last folded event
+    time: float  # that event's timestamp
+    state: Snapshot
+
+
+class MonitoringComponent:
+    """Event-sourced live view + checkpointed history replay."""
+
+    def __init__(
+        self,
+        log: EventLog,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+    ):
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if max_checkpoints < 2:
+            raise ValueError("max_checkpoints must be >= 2")
         self.log = log
+        self.checkpoint_interval = checkpoint_interval
+        self.max_checkpoints = max_checkpoints
         self._state = Snapshot(time=0.0)
-        self.database: List[NetworkEvent] = []  # the "remote web server" DB
+        self._applied = 0
+        self._checkpoints: List[_Checkpoint] = []
         log.subscribe(self._on_event)
+        # A log loaded from disk already holds history: fold it so the
+        # live view (and the checkpoint ladder) covers it too.
+        for event in log:
+            self._on_event(event)
 
     # ------------------------------------------------------------------
     # Live view
 
     def _on_event(self, event: NetworkEvent) -> None:
-        self.database.append(event)
         _apply_event(self._state, event)
+        self._applied += 1
+        if self._applied % self.checkpoint_interval == 0:
+            self._checkpoints.append(_Checkpoint(
+                seq=event.seq,
+                time=self._state.time,
+                state=copy.deepcopy(self._state),
+            ))
+            if len(self._checkpoints) > self.max_checkpoints:
+                # Thin to every second checkpoint (the newest is kept)
+                # and double the interval: coverage stays logarithmic,
+                # memory stays bounded.
+                self._checkpoints = self._checkpoints[1::2]
+                self.checkpoint_interval *= 2
 
     def snapshot(self) -> Snapshot:
         """A deep copy of the current world state."""
         return copy.deepcopy(self._state)
 
+    def checkpoints(self) -> List[Tuple[int, float]]:
+        """The (seq, time) ladder, oldest first (introspection)."""
+        return [(c.seq, c.time) for c in self._checkpoints]
+
     # ------------------------------------------------------------------
     # History replay
 
     def replay(self, until: Optional[float] = None) -> Snapshot:
-        """Reconstruct the world state as of time ``until`` purely from
-        the recorded event history."""
+        """Reconstruct the world state as of time ``until`` from the
+        recorded history, starting at the nearest checkpoint."""
+        state, _seq = self._replay_from_checkpoint(until)
+        if until is not None:
+            state.time = until
+        return state
+
+    def _replay_from_checkpoint(
+        self, until: Optional[float]
+    ) -> Tuple[Snapshot, int]:
+        """The O(delta) fold; returns (state, seq of last event folded)."""
+        checkpoint = None
+        for candidate in reversed(self._checkpoints):
+            if until is None or candidate.time <= until:
+                checkpoint = candidate
+                break
+        if checkpoint is None:
+            state, seq = Snapshot(time=0.0), -1
+        else:
+            state, seq = copy.deepcopy(checkpoint.state), checkpoint.seq
+        for event in self.log.events_after(seq):
+            if until is not None and event.time > until:
+                break
+            _apply_event(state, event)
+            seq = event.seq
+        return state, seq
+
+    def _replay_linear(self, until: Optional[float] = None) -> Snapshot:
+        """The pre-checkpoint reference fold from t=0 (oracle for the
+        equivalence property tests and the E16 bench)."""
         state = Snapshot(time=0.0)
-        for event in self.database:
+        for event in self.log:
             if until is not None and event.time > until:
                 break
             _apply_event(state, event)
@@ -107,16 +185,29 @@ class MonitoringComponent:
         return state
 
     def replay_series(self, times: List[float]) -> Iterator[Snapshot]:
-        """Snapshots at each requested time, replayed incrementally."""
+        """Snapshots at each requested time.
+
+        Ascending runs of ``times`` are replayed incrementally with a
+        forward cursor; a rewind (a moment earlier than its
+        predecessor) restarts from the nearest checkpoint instead of
+        silently reusing the too-advanced cursor state.
+        """
         state = Snapshot(time=0.0)
-        index = 0
-        events = self.database
+        stream = self.log.events_after(-1)
+        pending = next(stream, None)
+        previous: Optional[float] = None
         for moment in times:
-            while index < len(events) and events[index].time <= moment:
-                _apply_event(state, events[index])
-                index += 1
-            state.time = moment
-            yield copy.deepcopy(state)
+            if previous is not None and moment < previous:
+                state, seq = self._replay_from_checkpoint(moment)
+                stream = self.log.events_after(seq)
+                pending = next(stream, None)
+            while pending is not None and pending.time <= moment:
+                _apply_event(state, pending)
+                pending = next(stream, None)
+            previous = moment
+            view = copy.deepcopy(state)
+            view.time = moment
+            yield view
 
 
 def _apply_event(state: Snapshot, event: NetworkEvent) -> None:
@@ -132,26 +223,49 @@ def _apply_event(state: Snapshot, event: NetworkEvent) -> None:
         if dpid in state.switches:
             state.switches.remove(dpid)
         state.links = [l for l in state.links if dpid not in l]
+        state.link_loads = {
+            key: load for key, load in state.link_loads.items()
+            if key[0] != dpid
+        }
     elif event.kind == EventKind.LINK_UP:
         pair = (int(data["src_dpid"]), int(data["dst_dpid"]))  # type: ignore[arg-type]
         if pair not in state.links:
             state.links.append(pair)
     elif event.kind == EventKind.LINK_DOWN:
-        pair = (int(data["src_dpid"]), int(data["dst_dpid"]))  # type: ignore[arg-type]
-        if pair in state.links:
-            state.links.remove(pair)
+        ends = {int(data["src_dpid"]), int(data["dst_dpid"])}  # type: ignore[arg-type]
+        state.links = [l for l in state.links if set(l) != ends]
+        # The dead link's ports stop carrying traffic; drop their load
+        # readings (older recordings may lack the port fields).
+        for dpid_key, port_key in (("src_dpid", "src_port"),
+                                   ("dst_dpid", "dst_port")):
+            if port_key in data:
+                state.link_loads.pop(
+                    (int(data[dpid_key]), int(data[port_key])),  # type: ignore[arg-type]
+                    None,
+                )
     elif event.kind == EventKind.HOST_JOIN:
         mac = str(data["mac"])
-        state.users[mac] = UserView(
-            mac=mac,
-            ip=data.get("ip"),  # type: ignore[arg-type]
-            dpid=int(data["dpid"]),  # type: ignore[arg-type]
-            online=True,
-        )
+        existing = state.users.get(mac)
+        if existing is None:
+            state.users[mac] = UserView(
+                mac=mac,
+                ip=data.get("ip"),  # type: ignore[arg-type]
+                dpid=int(data["dpid"]),  # type: ignore[arg-type]
+                online=True,
+            )
+        else:
+            # A returning user keeps their accumulated record
+            # (applications, attacks, blocked) -- only presence and
+            # attachment change.
+            existing.online = True
+            existing.ip = data.get("ip", existing.ip)  # type: ignore[assignment]
+            existing.dpid = int(data["dpid"])  # type: ignore[arg-type]
     elif event.kind == EventKind.HOST_MOVE:
         mac = str(data["mac"])
         if mac in state.users:
-            state.users[mac].dpid = int(data["dpid"])  # type: ignore[arg-type]
+            user = state.users[mac]
+            user.dpid = int(data["dpid"])  # type: ignore[arg-type]
+            user.online = True  # moving proves presence
     elif event.kind == EventKind.HOST_LEAVE:
         mac = str(data["mac"])
         if mac in state.users:

@@ -21,7 +21,7 @@ from repro.core.visualization import MonitoringComponent, Snapshot
 
 def event_to_dict(event: NetworkEvent) -> Dict[str, object]:
     """One event row as the web DB would store it."""
-    return {"time": event.time, "kind": event.kind, "data": dict(event.data)}
+    return event.to_dict()
 
 
 def snapshot_to_dict(snapshot: Snapshot) -> Dict[str, object]:
@@ -76,9 +76,9 @@ class WebDatabase:
         return snapshot_to_dict(self.monitoring.replay(until=until))
 
     def events(self, since: Optional[float] = None) -> List[Dict[str, object]]:
-        rows = self.monitoring.database
-        if since is not None:
-            rows = [event for event in rows if event.time >= since]
+        # The shared event log is the single store; there is no second
+        # "database" copy to page through.
+        rows = self.monitoring.log.query(since=since)
         return [event_to_dict(event) for event in rows]
 
     def dump(self, path: str) -> int:

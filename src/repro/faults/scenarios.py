@@ -11,7 +11,6 @@ must agree on.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -141,6 +140,7 @@ def run_chaos_scenario(
     num_hosts: int = 4,
     channel_drop_rate: float = 0.0,
     plan: Optional[FaultPlan] = None,
+    record_jsonl: Optional[str] = None,
 ) -> ChaosReport:
     """Build, fault, run, and score one chaos scenario.
 
@@ -148,6 +148,8 @@ def run_chaos_scenario(
     (every affected session must fail over); ``crash='all'`` kills the
     whole fleet (the policy's fail mode decides what happens).  A
     custom ``plan`` overrides the built-in crash schedule entirely.
+    ``record_jsonl`` saves the run's event log as JSON Lines, ready
+    for ``python -m repro replay``.
     """
     if fail_mode not in ("open", "closed"):
         raise ValueError(f"fail_mode must be open|closed (got {fail_mode})")
@@ -191,9 +193,9 @@ def run_chaos_scenario(
     snapshot = net.controller.metrics.snapshot()
     counters = snapshot.counters()
     event_lines = [str(event) for event in net.controller.log.all()]
-    digest = hashlib.sha256(
-        "\n".join(event_lines).encode()
-    ).hexdigest()
+    digest = net.controller.log.digest()
+    if record_jsonl is not None:
+        net.controller.log.save(record_jsonl)
     return ChaosReport(
         seed=plan.seed,
         fail_mode=fail_mode,

@@ -39,7 +39,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("campus", "throughput", "latency", "loadbalance",
-                        "stats", "scale"):
+                        "stats", "scale", "chaos", "replay"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -98,6 +98,58 @@ class TestCommands:
 
         loaded = WebDatabase.load(path)
         assert loaded["events"]
+
+
+class TestReplayCommand:
+    @pytest.fixture
+    def recording(self, tmp_path):
+        from repro.core.events import EventKind, EventLog
+
+        log = EventLog()
+        log.emit(1.0, EventKind.SWITCH_JOIN, dpid=1, name="sw1")
+        log.emit(2.0, EventKind.HOST_JOIN, mac="m1", ip="10.0.0.1", dpid=1)
+        log.emit(6.0, EventKind.HOST_LEAVE, mac="m1")
+        path = str(tmp_path / "run.jsonl")
+        log.save(path)
+        return path, log.digest()
+
+    def test_replay_renders_final_state(self, recording, capsys):
+        path, __ = recording
+        assert main(["replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "users left: ['m1']" in out
+        assert "3 events" in out
+
+    def test_replay_at_past_moment(self, recording, capsys):
+        path, __ = recording
+        assert main(["replay", path, "--at", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "users online: 1" in out
+        assert "t=3.00s" in out
+
+    def test_replay_digest_only_matches_recording(self, recording, capsys):
+        path, digest = recording
+        assert main(["replay", path, "--digest-only"]) == 0
+        assert digest in capsys.readouterr().out
+
+    def test_replay_json_format(self, recording, capsys):
+        import json
+
+        path, __ = recording
+        assert main(["replay", path, "--format", "json", "--at", "3.0"]) == 0
+        view = json.loads(capsys.readouterr().out)
+        assert view["users"][0]["online"] is True
+
+    def test_chaos_record_then_replay_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "chaos.jsonl")
+        assert main(["chaos", "--seed", "0", "--duration", "6.0",
+                     "--record", path]) == 0
+        live = capsys.readouterr().out
+        assert "recorded" in live
+        assert main(["replay", path, "--digest-only"]) == 0
+        replayed = capsys.readouterr().out
+        live_digest = live.split("digest ")[-1].split(")")[0].strip()
+        assert live_digest in replayed
 
 
 class TestAppsCommand:
