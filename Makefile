@@ -1,7 +1,7 @@
 # Convenience targets for the LiveSec reproduction.
 
 .PHONY: install test bench bench-smoke lint stats-smoke chaos-smoke \
-	chaos-determinism replay-smoke examples all
+	chaos-determinism replay-smoke policy-smoke examples all
 
 install:
 	python setup.py develop
@@ -65,6 +65,36 @@ replay-smoke:
 		echo "replay digest mismatch: '$$a' vs '$$b'"; exit 1; \
 	else \
 		echo "replay round trip OK ($$a)"; \
+	fi
+
+# The policy-compiler lifecycle end to end: the sample intent file
+# compiles clean, the seeded conflicting file is rejected with its
+# structured report, and a mid-scenario hot-reload is digest-stable
+# across two identical runs.
+policy-smoke:
+	PYTHONPATH=src python -m repro policy check examples/policies/intents.json
+	@if PYTHONPATH=src python -m repro policy check \
+			examples/policies/conflicting_intents.json \
+			> /tmp/policy-conflicts.txt 2>&1; then \
+		echo "conflicting intent file was NOT rejected"; exit 1; \
+	fi
+	@grep -q "contradictory" /tmp/policy-conflicts.txt || \
+		{ echo "missing contradictory finding"; exit 1; }
+	@grep -q "shadowed" /tmp/policy-conflicts.txt || \
+		{ echo "missing shadowed finding"; exit 1; }
+	@echo "conflicting intent file rejected with both findings"
+	@PYTHONPATH=src python -m repro policy reload \
+		examples/policies/intents.json \
+		--record /tmp/policy-reload-a.jsonl | tee /tmp/policy-a.txt
+	@PYTHONPATH=src python -m repro policy reload \
+		examples/policies/intents.json \
+		--record /tmp/policy-reload-b.jsonl | tee /tmp/policy-b.txt
+	@a=$$(grep -o 'digest [0-9a-f]\{64\}' /tmp/policy-a.txt); \
+	b=$$(grep -o 'digest [0-9a-f]\{64\}' /tmp/policy-b.txt); \
+	if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+		echo "policy reload digest mismatch: '$$a' vs '$$b'"; exit 1; \
+	else \
+		echo "policy hot-reload OK, digest-stable ($$a)"; \
 	fi
 
 examples:

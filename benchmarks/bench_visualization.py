@@ -29,14 +29,14 @@ from common import GATEWAY_IP, run_once
 
 def _run_scenario():
     policies = PolicyTable()
-    policies.add(
+    policies.begin().add(
         Policy(
             name="identify-apps",
             selector=FlowSelector(dst_ip=GATEWAY_IP),
             action=PolicyAction.CHAIN,
             service_chain=("l7", "ids"),
         )
-    )
+    ).commit()
     net = build_livesec_network(
         topology="fit", policies=policies,
         num_ovs=3, num_aps=1, wired_users=0, wireless_users=5,

@@ -24,7 +24,7 @@ def main() -> None:
     policies = PolicyTable()
     # East-west coverage: everything between the 10.0.0.0 hosts is
     # chained through virus scanning and intrusion detection.
-    policies.add(
+    policies.begin().add(
         Policy(
             name="east-west-inspection",
             selector=FlowSelector(src_ip_prefix="10.0.", dst_ip_prefix="10.0."),
@@ -32,7 +32,7 @@ def main() -> None:
             service_chain=("virus", "ids"),
             priority=100,
         )
-    )
+    ).commit()
     net = build_livesec_network(
         topology="star",
         policies=policies,

@@ -28,14 +28,14 @@ GATEWAY_IP = "10.255.255.254"
 
 def build():
     policies = PolicyTable()
-    policies.add(
+    policies.begin().add(
         Policy(
             name="identify-apps",
             selector=FlowSelector(dst_ip=GATEWAY_IP),
             action=PolicyAction.CHAIN,
             service_chain=("l7", "ids"),
         )
-    )
+    ).commit()
     net = build_livesec_network(
         topology="fit",
         policies=policies,

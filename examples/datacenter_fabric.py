@@ -27,12 +27,12 @@ def main() -> None:
     topo = fat_tree_topology(sim, k=4, hosts_per_edge=2,
                              access_bandwidth_bps=1e9)
     policies = PolicyTable()
-    policies.add(Policy(
+    policies.begin().add(Policy(
         name="east-west-ids",
         selector=FlowSelector(src_ip_prefix="10.0.", dst_ip_prefix="10.0."),
         action=PolicyAction.CHAIN,
         service_chain=("ids",),
-    ))
+    )).commit()
     controller = LiveSecController(sim, policies=policies)
     net = LiveSecNetwork(
         sim=sim, topology=topo, controller=controller,

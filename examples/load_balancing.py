@@ -19,14 +19,14 @@ GATEWAY_IP = "10.255.255.254"
 
 def run_with_dispatcher(dispatcher: str) -> None:
     policies = PolicyTable()
-    policies.add(
+    policies.begin().add(
         Policy(
             name="inspect-internet",
             selector=FlowSelector(dst_ip=GATEWAY_IP),
             action=PolicyAction.CHAIN,
             service_chain=("ids",),
         )
-    )
+    ).commit()
     net = build_livesec_network(
         topology="linear",
         policies=policies,

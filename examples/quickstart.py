@@ -16,14 +16,14 @@ GATEWAY_IP = "10.255.255.254"
 def main() -> None:
     # 1. Policy: all Internet-bound traffic must traverse an IDS.
     policies = PolicyTable()
-    policies.add(
+    policies.begin().add(
         Policy(
             name="inspect-internet",
             selector=FlowSelector(dst_ip=GATEWAY_IP),
             action=PolicyAction.CHAIN,
             service_chain=("ids",),
         )
-    )
+    ).commit()
 
     # 2. Build: 3 AS switches on one legacy core, two IDS elements.
     net = build_livesec_network(

@@ -25,14 +25,18 @@ Quickstart::
 """
 
 from repro.core import (
+    CompiledPolicyTable,
     LiveSecController,
     LiveSecNetwork,
     MonitoringComponent,
     NetworkInformationBase,
     Policy,
     PolicyAction,
+    PolicyConflictError,
+    PolicyIntent,
     PolicyTable,
     build_livesec_network,
+    compile_intents,
 )
 from repro.net import Simulator
 
@@ -45,7 +49,11 @@ __all__ = [
     "NetworkInformationBase",
     "Policy",
     "PolicyAction",
+    "PolicyConflictError",
+    "PolicyIntent",
     "PolicyTable",
+    "CompiledPolicyTable",
+    "compile_intents",
     "Simulator",
     "build_livesec_network",
     "__version__",

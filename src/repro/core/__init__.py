@@ -24,6 +24,13 @@ entry point used by the examples and benchmarks.
 from repro.core.controller import LiveSecController
 from repro.core.deployment import LiveSecNetwork, build_livesec_network
 from repro.core.policy import Policy, PolicyAction, PolicyTable
+from repro.core.policy_compiler import (
+    CompiledPolicyTable,
+    CompileResult,
+    PolicyConflictError,
+    PolicyIntent,
+    compile_intents,
+)
 from repro.core.loadbalance import (
     Dispatcher,
     HashDispatcher,
@@ -42,6 +49,11 @@ __all__ = [
     "Policy",
     "PolicyAction",
     "PolicyTable",
+    "PolicyIntent",
+    "PolicyConflictError",
+    "CompiledPolicyTable",
+    "CompileResult",
+    "compile_intents",
     "Dispatcher",
     "HashDispatcher",
     "LeastConnectionsDispatcher",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.apps.base import App, AppContext
-from repro.core.bus import FlowStatsIn, PortStatsIn
+from repro.core.bus import FlowStatsIn, PolicyReloaded, PortStatsIn
 from repro.core.events import EventKind
 from repro.openflow import messages as ofmsg
 
@@ -32,8 +32,13 @@ class MonitorApp(App):
         self._port_capacity: Dict[Tuple[int, int], float] = {}
         self._last_port_sample: Dict[Tuple[int, int], Tuple[int, float]] = {}
         self._flow_stats_listeners: list = []
+        self._policy_reloads = ctx.metrics.counter(
+            "controller.policy_reloads",
+            "Atomic policy-table swaps observed on the bus",
+        )
         self.listen(PortStatsIn, self.on_port_stats)
         self.listen(FlowStatsIn, self.on_flow_stats)
+        self.listen(PolicyReloaded, self.on_policy_reloaded)
 
     def start(self) -> None:
         if self.stats_interval_s is not None:
@@ -94,3 +99,9 @@ class MonitorApp(App):
     def on_flow_stats(self, event: FlowStatsIn) -> None:
         for listener in list(self._flow_stats_listeners):
             listener(event.message)
+
+    # ------------------------------------------------------------------
+    # Policy lifecycle
+
+    def on_policy_reloaded(self, event: PolicyReloaded) -> None:
+        self._policy_reloads.inc()

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.apps.base import App, AppContext
+from repro.core.bus import PolicyReloaded
+from repro.core.events import EventKind
 from repro.core.nib import HostRecord
 from repro.core.policy import FailMode, Policy, PolicyAction
 from repro.net.packet import FlowNineTuple
@@ -49,6 +51,23 @@ class PolicyEngineApp(App):
         self._policy_scan_hist = ctx.metrics.histogram(
             "controller.policy_lookup_scans",
             "Policy-table rows scanned per first-packet lookup",
+        )
+        self.listen(PolicyReloaded, self.on_policy_reloaded)
+
+    # ------------------------------------------------------------------
+    # Policy lifecycle
+
+    def on_policy_reloaded(self, event: PolicyReloaded) -> None:
+        """Record the atomic swap in the event log: the new version and
+        which policies came and went."""
+        commit = event.commit
+        self.ctx.log.emit(
+            self.ctx.sim.now, EventKind.POLICY_CHANGED,
+            version=commit.version,
+            policies=commit.policies,
+            added=list(commit.added),
+            removed=list(commit.removed),
+            source=commit.source,
         )
 
     # ------------------------------------------------------------------

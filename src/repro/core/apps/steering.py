@@ -26,6 +26,7 @@ from repro.core.bus import (
     HostMoved,
     LinkDiscovered,
     LinkTimedOut,
+    PolicyReloaded,
     SourceBlockRequested,
     SwitchJoined,
     SwitchLeft,
@@ -88,6 +89,7 @@ class SteeringApp(App):
         self.listen(LinkDiscovered, self.on_topology_changed)
         self.listen(LinkTimedOut, self.on_topology_changed)
         self.listen(HostMoved, self.on_topology_changed)
+        self.listen(PolicyReloaded, self.on_policy_reloaded)
 
     def _setup_metrics(self) -> None:
         registry = self.ctx.metrics
@@ -423,6 +425,14 @@ class SteeringApp(App):
         """A NIB fact the cached rules embed changed (new/removed link
         changes uplink ports; a moved host invalidates paths through
         its old location): drop every memoized path."""
+        self.rule_cache.clear()
+
+    def on_policy_reloaded(self, event: PolicyReloaded) -> None:
+        """New policy table: every memoized ingress decision may now be
+        wrong, so the path-rule cache is invalidated wholesale.
+        Established sessions keep their installed rules -- the paper's
+        interactive model re-consults policy on the *next* first packet,
+        not retroactively."""
         self.rule_cache.clear()
 
     # ==================================================================

@@ -49,6 +49,7 @@ __all__ = [
     "FlowBlockRequested",
     "SourceBlockRequested",
     "UplinksLost",
+    "PolicyReloaded",
 ]
 
 
@@ -201,6 +202,19 @@ class UplinksLost:
     """Switches lost fabric uplinks; sessions through them are dead."""
 
     dpids: Tuple[int, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class PolicyReloaded:
+    """The policy table swapped atomically to a new version.
+
+    Carries the :class:`repro.core.policy.PolicyCommit` record of the
+    swap.  Steering invalidates its path-rule cache (established
+    sessions keep their installed rules), policy-engine logs the new
+    version, monitor counts the reload.
+    """
+
+    commit: object  # PolicyCommit
 
 
 # ======================================================================

@@ -66,6 +66,7 @@ from repro.core.bus import (
     FlowStatsIn,
     LinkDiscovered,
     LinkTimedOut,
+    PolicyReloaded,
     PortStatsIn,
     ServiceFrameIn,
     SwitchJoined,
@@ -209,6 +210,12 @@ class LiveSecController(ControllerBase):
             self._apps[app.name] = app
         for app in self._apps.values():
             app.start()
+        # Policy lifecycle: table commits become bus events (apps react:
+        # policy-engine logs, steering invalidates its path cache,
+        # monitor counts), and the table's version/deprecation gauges
+        # land on this controller's registry.
+        self.policies.on_commit(self._on_policy_commit)
+        self.policies.attach_metrics(self.metrics)
 
     # ==================================================================
     # App registry
@@ -342,6 +349,67 @@ class LiveSecController(ControllerBase):
 
     def on_barrier_reply(self, dpid: int, xid: int) -> None:
         self.bus.publish(BarrierReplyIn(dpid=dpid, xid=xid))
+
+    # ==================================================================
+    # Policy lifecycle: compile, verify, atomic hot-swap
+
+    def _on_policy_commit(self, commit) -> None:
+        self.bus.publish(PolicyReloaded(commit=commit))
+
+    def _known_service_types(self) -> set:
+        """Service types a chain may legitimately reference: everything
+        the deployment can instantiate plus whatever has already
+        certified with the registry (covers custom element types)."""
+        from repro.elements import ELEMENT_TYPES
+
+        return set(ELEMENT_TYPES) | set(self.registry.service_types())
+
+    def check_policies(self, source):
+        """Compile + verify a policy document without touching the live
+        table.  ``source`` is a file path, a parsed document dict, or an
+        iterable of :class:`~repro.core.policy_compiler.PolicyIntent`.
+        Returns the :class:`~repro.core.policy_compiler.CompileResult`.
+        """
+        from repro.core.policy_compiler import PolicyIntent, compile_intents
+        from repro.core.policy_io import document_to_intents, load_intents
+        from repro.core.policy import PolicyAction
+
+        default = self.policies.default_action
+        if isinstance(source, str):
+            intents, default = load_intents(source)
+        elif isinstance(source, dict):
+            intents = document_to_intents(source)
+            default = PolicyAction(source.get("default_action", "allow"))
+        else:
+            intents = list(source)
+            if not all(isinstance(i, PolicyIntent) for i in intents):
+                raise TypeError(
+                    "source must be a path, a document dict, or PolicyIntents"
+                )
+        return compile_intents(
+            intents,
+            default_action=default,
+            service_types=self._known_service_types(),
+        )
+
+    def reload_policies(self, source):
+        """Hot-swap the live policy table from ``source``.
+
+        The document compiles and verifies first; error findings raise
+        :class:`~repro.core.policy_compiler.PolicyConflictError` and the
+        previously committed table keeps serving.  A clean compile swaps
+        in atomically -- one version bump, one ``PolicyReloaded`` event
+        -- without touching established sessions.  Returns the
+        :class:`~repro.core.policy.PolicyCommit` record."""
+        from repro.core.policy_compiler import PolicyConflictError
+
+        result = self.check_policies(source)
+        if not result.ok:
+            raise PolicyConflictError(result.errors)
+        label = source if isinstance(source, str) else "reload"
+        return self.policies.apply_compiled(
+            result.table, source=f"reload:{label}"
+        )
 
     # ==================================================================
     # Back-compat delegations (pre-decomposition public surface)

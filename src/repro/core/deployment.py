@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import LiveSecController
 from repro.core.policy import PolicyTable
+from repro.core.policy_io import load_policies
 from repro.core.visualization import MonitoringComponent
 from repro.elements import ELEMENT_TYPES
 from repro.elements.base import ServiceElement
@@ -146,6 +147,22 @@ class LiveSecNetwork:
                     switch.dpid, number, port.link.bandwidth_bps
                 )
 
+    # ------------------------------------------------------------------
+    # Policy lifecycle
+
+    def check_policies(self, source):
+        """Compile + verify a policy document against this deployment's
+        service directory without touching the live table."""
+        return self.controller.check_policies(source)
+
+    def reload_policies(self, source):
+        """Hot-swap the controller's policy table from a file/document.
+
+        Verified compile, atomic swap, established sessions preserved;
+        a rejected document raises and the running table keeps serving.
+        """
+        return self.controller.reload_policies(source)
+
     def status(self):
         """Controller overview (a :class:`ControllerStatus`; indexes
         like the historical dict)."""
@@ -166,6 +183,7 @@ _TOPOLOGY_BUILDERS = {
 def build_livesec_network(
     topology: str = "linear",
     policies: Optional[PolicyTable] = None,
+    policy_file: Optional[str] = None,
     dispatcher: str = "minload",
     elements: Sequence[Tuple[str, int]] = (),
     control_latency_s: float = 0.5e-3,
@@ -186,11 +204,19 @@ def build_livesec_network(
     ``(element_type, count)`` pairs distributed round-robin over the
     AS switches -- e.g. the paper-scale fleet is
     ``[("ids", 160), ("l7", 40)]`` on the ``'fit'`` topology.
+    ``policy_file`` loads (and conflict-verifies) a v1/v2 policy
+    document instead of passing a prebuilt ``policies`` table.
 
     Call :meth:`LiveSecNetwork.start` before sending traffic.
     """
     if sim is None:
         sim = Simulator()
+    if policy_file is not None:
+        if policies is not None:
+            raise ValueError("pass either policies or policy_file, not both")
+        # Deployment config loads run verified: a conflicting file must
+        # fail the build, not silently serve insertion-order semantics.
+        policies = load_policies(policy_file, verify=True)
     try:
         builder = _TOPOLOGY_BUILDERS[topology]
     except KeyError:

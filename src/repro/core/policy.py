@@ -11,13 +11,22 @@ flows it governs) with an action: allow, drop, or steer through a
 of each flow, highest priority first; the first match wins.  The
 default when nothing matches is configurable and defaults to allow
 (plain end-to-end routing).
+
+The live table is *transactional*: every change -- one policy or a
+wholesale compiled swap -- goes through :meth:`PolicyTable.begin` /
+:meth:`PolicyTransaction.commit`, which applies atomically, bumps the
+monotonic version stamp exactly once, and notifies commit subscribers
+(the controller turns those into ``PolicyReloaded`` bus events).  The
+historical ``add``/``remove`` mutators survive as thin compat shims
+over single-operation transactions, counted as deprecated API calls.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from enum import Enum
-from typing import List, Optional, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.packet import FlowNineTuple
 
@@ -51,12 +60,79 @@ class FailMode(Enum):
     CLOSED = "closed"
 
 
+# ======================================================================
+# IPv4 helpers (shared with the policy compiler's match-space algebra)
+
+
+def ip_to_int(ip: str) -> int:
+    """A dotted-quad IPv4 address as a 32-bit integer (strict)."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"not an IPv4 address: {ip!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"not an IPv4 address: {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@lru_cache(maxsize=4096)
+def parse_cidr(cidr: str) -> Tuple[int, int]:
+    """``"a.b.c.d/len"`` as ``(network_int, prefix_len)`` (strict:
+    the host bits must be zero, so a typo'd work zone fails loudly)."""
+    base, sep, bits = cidr.partition("/")
+    if not sep or not bits.isdigit():
+        raise ValueError(f"not CIDR notation (a.b.c.d/len): {cidr!r}")
+    length = int(bits)
+    if length > 32:
+        raise ValueError(f"CIDR prefix length out of range: {cidr!r}")
+    network = ip_to_int(base)
+    mask = ((1 << length) - 1) << (32 - length) if length else 0
+    if network & ~mask & 0xFFFFFFFF:
+        raise ValueError(f"host bits set in CIDR {cidr!r}")
+    return network, length
+
+
+def cidr_contains(cidr: str, ip: Optional[str]) -> bool:
+    """Whether ``ip`` falls inside the CIDR block (False for None or
+    non-IPv4 strings)."""
+    if ip is None:
+        return False
+    network, length = parse_cidr(cidr)
+    try:
+        value = ip_to_int(ip)
+    except ValueError:
+        return False
+    mask = ((1 << length) - 1) << (32 - length) if length else 0
+    return (value & mask) == network
+
+
+def _octet_prefix_match(prefix: str, ip: str) -> bool:
+    """Octet-aligned string-prefix match: ``"10.1"`` matches
+    ``10.1.x.y`` but never ``10.10.x.y`` (the historical raw
+    ``startswith`` did).  A trailing dot pins the boundary explicitly.
+    """
+    if not prefix:
+        return True
+    if ip == prefix:
+        return True
+    if prefix.endswith("."):
+        return ip.startswith(prefix)
+    return ip.startswith(prefix + ".")
+
+
 @dataclass(frozen=True)
 class FlowSelector:
     """A predicate over the 9-tuple.  ``None`` fields match anything.
 
-    ``src_ip_prefix`` / ``dst_ip_prefix`` do string-prefix matching
-    ("10.0." style), which stands in for CIDR work-zone selectors.
+    ``src_cidr`` / ``dst_cidr`` are real CIDR work-zone selectors
+    (``"10.1.0.0/16"``).  ``src_ip_prefix`` / ``dst_ip_prefix`` are the
+    historical dotted string prefixes ("10.0." style); bare prefixes
+    are octet-aligned, so ``"10.1"`` no longer matches ``10.10.0.1``.
     """
 
     src_mac: Optional[str] = None
@@ -65,10 +141,19 @@ class FlowSelector:
     dst_ip: Optional[str] = None
     src_ip_prefix: Optional[str] = None
     dst_ip_prefix: Optional[str] = None
+    src_cidr: Optional[str] = None
+    dst_cidr: Optional[str] = None
     nw_proto: Optional[int] = None
     tp_src: Optional[int] = None
     tp_dst: Optional[int] = None
     vlan: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Malformed CIDR must fail at definition time, not lookup time.
+        if self.src_cidr is not None:
+            parse_cidr(self.src_cidr)
+        if self.dst_cidr is not None:
+            parse_cidr(self.dst_cidr)
 
     def matches(self, flow: FlowNineTuple) -> bool:
         checks = (
@@ -85,10 +170,20 @@ class FlowSelector:
             if want is not None and want != got:
                 return False
         if self.src_ip_prefix is not None:
-            if flow.nw_src is None or not flow.nw_src.startswith(self.src_ip_prefix):
+            if flow.nw_src is None or not _octet_prefix_match(
+                self.src_ip_prefix, flow.nw_src
+            ):
                 return False
         if self.dst_ip_prefix is not None:
-            if flow.nw_dst is None or not flow.nw_dst.startswith(self.dst_ip_prefix):
+            if flow.nw_dst is None or not _octet_prefix_match(
+                self.dst_ip_prefix, flow.nw_dst
+            ):
+                return False
+        if self.src_cidr is not None:
+            if not cidr_contains(self.src_cidr, flow.nw_src):
+                return False
+        if self.dst_cidr is not None:
+            if not cidr_contains(self.dst_cidr, flow.nw_dst):
                 return False
         return True
 
@@ -98,7 +193,8 @@ class FlowSelector:
             1
             for value in (
                 self.src_mac, self.dst_mac, self.src_ip, self.dst_ip,
-                self.src_ip_prefix, self.dst_ip_prefix, self.nw_proto,
+                self.src_ip_prefix, self.dst_ip_prefix,
+                self.src_cidr, self.dst_cidr, self.nw_proto,
                 self.tp_src, self.tp_dst, self.vlan,
             )
             if value is not None
@@ -132,15 +228,181 @@ class Policy:
             )
 
 
+def _table_order(policy: Policy) -> Tuple[int, int]:
+    """Match order: highest priority first, most specific breaks ties
+    (stable, so insertion order breaks exact ties)."""
+    return (-policy.priority, -policy.selector.specificity())
+
+
+@dataclass(frozen=True)
+class PolicyCommit:
+    """The record of one atomic table swap, handed to commit
+    subscribers (and carried by the ``PolicyReloaded`` bus event)."""
+
+    version: int
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    source: str
+    policies: int
+    default_action: PolicyAction
+
+
+class PolicyTransaction:
+    """Staged changes against a :class:`PolicyTable`.
+
+    All mutation happens on a private copy; the live table is untouched
+    until :meth:`commit`, which swaps the whole row set in atomically
+    (one version bump, one commit notification) -- or never, if the
+    transaction is aborted or :meth:`commit` with ``verify=True``
+    rejects it.  ``validate()`` reports structural problems and
+    pairwise conflicts without committing anything.
+    """
+
+    def __init__(self, table: "PolicyTable", source: str = "api"):
+        self._table = table
+        self.source = source
+        self._rows: List[Policy] = list(table._policies)
+        self._by_name: Dict[str, Policy] = {p.name: p for p in self._rows}
+        self._default = table.default_action
+        self._added: List[str] = []
+        self._removed: List[str] = []
+        self._closed = False
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("transaction already committed or aborted")
+
+    # ------------------------------------------------------------------
+    # Staging
+
+    def add(self, policy: Policy) -> "PolicyTransaction":
+        """Stage one policy (duplicate names rejected immediately)."""
+        self._ensure_open()
+        if policy.name in self._by_name:
+            raise ValueError(f"duplicate policy name {policy.name!r}")
+        self._rows.append(policy)
+        self._by_name[policy.name] = policy
+        self._added.append(policy.name)
+        return self
+
+    def remove(self, name: str) -> Optional[Policy]:
+        """Stage one removal; returns the staged-out policy or None."""
+        self._ensure_open()
+        policy = self._by_name.pop(name, None)
+        if policy is None:
+            return None
+        self._rows.remove(policy)
+        if name in self._added:
+            self._added.remove(name)
+        else:
+            self._removed.append(name)
+        return policy
+
+    def replace_all(
+        self,
+        policies: Iterable[Policy],
+        default_action: Optional[PolicyAction] = None,
+    ) -> "PolicyTransaction":
+        """Stage a wholesale swap: the new row set replaces everything."""
+        self._ensure_open()
+        new_rows = list(policies)
+        names = [p.name for p in new_rows]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate policy names {sorted(duplicates)}")
+        old_names = {p.name for p in self._table._policies}
+        new_names = set(names)
+        self._rows = new_rows
+        self._by_name = {p.name: p for p in new_rows}
+        self._added = sorted(new_names - old_names)
+        self._removed = sorted(old_names - new_names)
+        if default_action is not None:
+            self.set_default_action(default_action)
+        return self
+
+    def set_default_action(self, action: PolicyAction) -> "PolicyTransaction":
+        self._ensure_open()
+        if action is PolicyAction.CHAIN:
+            raise ValueError("default action cannot be CHAIN")
+        self._default = action
+        return self
+
+    # ------------------------------------------------------------------
+    # Verification and the atomic swap
+
+    def validate(self, service_types=None) -> list:
+        """Conflict findings over the staged table (no commit).
+
+        Delegates to the policy compiler's pairwise detector: the
+        staged rows in match order, plus service-chain reference checks
+        when ``service_types`` is given.  Returns a list of
+        :class:`repro.core.policy_compiler.Conflict` findings.
+        """
+        self._ensure_open()
+        from repro.core.policy_compiler import verify_rows
+
+        return verify_rows(
+            sorted(self._rows, key=_table_order), service_types=service_types
+        )
+
+    def commit(self, verify: bool = False) -> PolicyCommit:
+        """Apply the staged changes atomically.
+
+        With ``verify=True`` the transaction first runs
+        :meth:`validate` and refuses to commit on any error-severity
+        finding (raising ``PolicyConflictError``), leaving the live
+        table untouched.  On success the row set, name index and
+        default action swap in as one step, the version bumps exactly
+        once, and commit subscribers fire.
+        """
+        self._ensure_open()
+        if verify:
+            from repro.core.policy_compiler import PolicyConflictError
+
+            errors = [f for f in self.validate() if f.severity == "error"]
+            if errors:
+                raise PolicyConflictError(errors)
+        rows = sorted(self._rows, key=_table_order)
+        table = self._table
+        table._policies = rows
+        table._by_name = {p.name: p for p in rows}
+        table.default_action = self._default
+        table.version += 1
+        self._closed = True
+        commit = PolicyCommit(
+            version=table.version,
+            added=tuple(self._added),
+            removed=tuple(self._removed),
+            source=self.source,
+            policies=len(rows),
+            default_action=self._default,
+        )
+        for callback in list(table._commit_callbacks):
+            callback(commit)
+        return commit
+
+    def abort(self) -> None:
+        """Discard the staged changes; the table never sees them."""
+        self._closed = True
+
+
 class PolicyTable:
-    """Ordered policy lookup: highest priority, then most specific."""
+    """Ordered policy lookup: highest priority, then most specific.
+
+    Mutation is transactional (:meth:`begin`); the name index makes
+    :meth:`get` O(1); :meth:`match` stays a first-match scan whose
+    row count feeds the ``controller.policy_lookup_scans`` histogram.
+    """
 
     def __init__(self, default_action: PolicyAction = PolicyAction.ALLOW):
         if default_action is PolicyAction.CHAIN:
             raise ValueError("default action cannot be CHAIN")
         self._policies: List[Policy] = []
+        self._by_name: Dict[str, Policy] = {}
         self.default_action = default_action
         self.version = 0
+        self._commit_callbacks: List[Callable[[PolicyCommit], None]] = []
+        self.deprecated_calls: Dict[str, int] = {"add": 0, "remove": 0}
 
     def __len__(self) -> int:
         return len(self._policies)
@@ -148,31 +410,92 @@ class PolicyTable:
     def __iter__(self):
         return iter(self._policies)
 
-    def add(self, policy: Policy) -> None:
-        if any(existing.name == policy.name for existing in self._policies):
-            raise ValueError(f"duplicate policy name {policy.name!r}")
-        self._policies.append(policy)
-        self._policies.sort(
-            key=lambda p: (-p.priority, -p.selector.specificity())
+    # ------------------------------------------------------------------
+    # Transactions
+
+    def begin(self, source: str = "api") -> PolicyTransaction:
+        """Open a transaction; nothing changes until its commit."""
+        return PolicyTransaction(self, source=source)
+
+    def on_commit(
+        self, callback: Callable[[PolicyCommit], None]
+    ) -> Callable[[], None]:
+        """Subscribe to atomic swaps; returns an unsubscribe callable.
+        The controller bridges these into ``PolicyReloaded`` bus
+        events."""
+        self._commit_callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._commit_callbacks.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def apply_compiled(self, compiled, source: str = "compiler") -> PolicyCommit:
+        """Atomically swap in a compiled table (rows are copied with
+        fresh hit counters, so the compiled artifact stays pristine and
+        re-appliable)."""
+        txn = self.begin(source=source)
+        txn.replace_all(
+            [dc_replace(policy, hits=0) for policy in compiled],
+            default_action=compiled.default_action,
         )
-        self.version += 1
+        return txn.commit()
+
+    def attach_metrics(self, registry) -> None:
+        """Register the table's gauges on an obs registry: the version
+        stamp, the row count, and the deprecated-shim call counters."""
+        registry.gauge(
+            "policy.version", "Monotonic policy-table version stamp"
+        ).set_function(lambda: float(self.version))
+        registry.gauge(
+            "policy.rows", "Policies in the live table"
+        ).set_function(lambda: float(len(self._policies)))
+        for op in ("add", "remove"):
+            registry.gauge(
+                "policy.deprecated_api_calls",
+                "Calls to the deprecated add/remove compat shims",
+                op=op,
+            ).set_function(
+                lambda op=op: float(self.deprecated_calls[op])
+            )
+
+    # ------------------------------------------------------------------
+    # Compat shims (pre-transaction public surface)
+
+    def add(self, policy: Policy) -> None:
+        """Deprecated: one-policy transaction.  Prefer
+        ``begin()``/``commit()`` or a compiled reload."""
+        self.deprecated_calls["add"] += 1
+        txn = self.begin(source="legacy:add")
+        txn.add(policy)
+        txn.commit()
+
+    def remove(self, name: str) -> Optional[Policy]:
+        """Deprecated: one-removal transaction.  Prefer
+        ``begin()``/``commit()`` or a compiled reload."""
+        self.deprecated_calls["remove"] += 1
+        txn = self.begin(source="legacy:remove")
+        removed = txn.remove(name)
+        if removed is None:
+            # No-op removals never bump the version (historical shape).
+            txn.abort()
+            return None
+        txn.commit()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lookup
 
     def get(self, name: Optional[str]) -> Optional[Policy]:
         """The policy registered under ``name``, or None (including for
-        ``name=None``, the default-routed sessions' policy label)."""
+        ``name=None``, the default-routed sessions' policy label).
+        O(1) via the name index the transaction API maintains."""
         if name is None:
             return None
-        for policy in self._policies:
-            if policy.name == name:
-                return policy
-        return None
-
-    def remove(self, name: str) -> Optional[Policy]:
-        for index, policy in enumerate(self._policies):
-            if policy.name == name:
-                self.version += 1
-                return self._policies.pop(index)
-        return None
+        return self._by_name.get(name)
 
     def match(self, flow: FlowNineTuple) -> Tuple[Optional[Policy], int]:
         """The winning policy (or None) plus the number of table rows

@@ -1,34 +1,46 @@
-"""Policy-table persistence.
+"""Policy persistence: versioned JSON documents.
 
 Section IV.A: the global policy table "is pre-configured and managed
 by the network administrator".  In practice that means it lives in a
-config file; this module round-trips a :class:`PolicyTable` through a
-plain JSON document so deployments can be versioned, reviewed and
-reloaded.
+config file; this module round-trips policy through plain JSON so
+deployments can be versioned, reviewed and hot-reloaded.
 
-Format (one object per policy)::
+Two schemas are accepted (``schema_version`` selects; absent means 1):
 
-    {
-      "default_action": "allow",
-      "policies": [
-        {
-          "name": "inspect-internet",
-          "priority": 100,
-          "action": "chain",
-          "service_chain": ["ids"],
-          "granularity": "flow",
-          "inspect_reply": true,
-          "selector": {"dst_ip": "10.255.255.254"}
-        }
-      ]
-    }
+* **v1** (historical, flat rows)::
+
+      {
+        "default_action": "allow",
+        "policies": [
+          {"name": "inspect-internet", "action": "chain",
+           "service_chain": ["ids"],
+           "selector": {"dst_ip": "10.255.255.254"}}
+        ]
+      }
+
+* **v2** (intents -- what :func:`save_policies` now emits)::
+
+      {
+        "schema_version": 2,
+        "default_action": "allow",
+        "intents": [
+          {"name": "quarantine-lab", "action": "drop",
+           "src_zone": "10.66.0.0/16", "priority": 150}
+        ]
+      }
+
+Both are strict: unknown top-level, entry or selector fields are
+rejected (the WireCodec convention -- a typo'd field must not silently
+become a match-everything policy).  v2 documents flow through the
+policy compiler, so loading with ``verify=True`` rejects conflicting
+documents before anything reaches a live table.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict
+from typing import Dict, List
 
 from repro.core.policy import (
     FailMode,
@@ -38,98 +50,188 @@ from repro.core.policy import (
     PolicyAction,
     PolicyTable,
 )
+from repro.core.policy_compiler import (
+    PolicyConflictError,
+    PolicyIntent,
+    compile_intents,
+    intent_from_dict,
+    intent_from_policy,
+    intent_to_dict,
+)
+
+SCHEMA_VERSION = 2
+
+_V1_DOCUMENT_FIELDS = {"schema_version", "default_action", "policies"}
+_V2_DOCUMENT_FIELDS = {"schema_version", "default_action", "intents"}
+_V1_ENTRY_FIELDS = {
+    "name", "priority", "action", "service_chain", "granularity",
+    "inspect_reply", "fail_mode", "selector",
+}
 
 
 class PolicyFormatError(ValueError):
     """Raised when a policy document is malformed."""
 
 
-def table_to_dict(table: PolicyTable) -> Dict[str, object]:
-    """Serialize a table to a JSON-compatible dict."""
+def table_to_dict(table) -> Dict[str, object]:
+    """Serialize a table (live or compiled) as a v2 intent document."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "default_action": table.default_action.value,
-        "policies": [
-            {
-                "name": policy.name,
-                "priority": policy.priority,
-                "action": policy.action.value,
-                "service_chain": list(policy.service_chain),
-                "granularity": policy.granularity.value,
-                "inspect_reply": policy.inspect_reply,
-                "fail_mode": (
-                    policy.fail_mode.value
-                    if policy.fail_mode is not None else None
-                ),
-                "selector": {
-                    key: value
-                    for key, value in dataclasses.asdict(
-                        policy.selector
-                    ).items()
-                    if value is not None
-                },
-            }
-            for policy in table
+        "intents": [
+            intent_to_dict(intent_from_policy(policy)) for policy in table
         ],
     }
 
 
-def table_from_dict(document: Dict[str, object]) -> PolicyTable:
-    """Deserialize a table, validating every field."""
-    if not isinstance(document, dict):
-        raise PolicyFormatError("policy document must be an object")
+def _default_action(document: Dict[str, object]) -> PolicyAction:
     try:
         default = PolicyAction(document.get("default_action", "allow"))
     except ValueError as exc:
         raise PolicyFormatError(str(exc)) from exc
     if default is PolicyAction.CHAIN:
         raise PolicyFormatError("default action cannot be 'chain'")
-    table = PolicyTable(default_action=default)
-    entries = document.get("policies", [])
-    if not isinstance(entries, list):
-        raise PolicyFormatError("'policies' must be a list")
+    return default
+
+
+def _v1_entry_to_policy(entry: dict) -> Policy:
+    if not isinstance(entry, dict) or "name" not in entry:
+        raise PolicyFormatError(f"bad policy entry: {entry!r}")
+    unknown = set(entry) - _V1_ENTRY_FIELDS
+    if unknown:
+        raise PolicyFormatError(
+            f"unknown fields in policy {entry['name']!r}: {sorted(unknown)}"
+        )
+    selector_doc = entry.get("selector", {})
     selector_fields = {f.name for f in dataclasses.fields(FlowSelector)}
-    for entry in entries:
-        if not isinstance(entry, dict) or "name" not in entry:
-            raise PolicyFormatError(f"bad policy entry: {entry!r}")
-        selector_doc = entry.get("selector", {})
-        unknown = set(selector_doc) - selector_fields
+    unknown = set(selector_doc) - selector_fields
+    if unknown:
+        raise PolicyFormatError(
+            f"unknown selector fields in {entry['name']!r}: {sorted(unknown)}"
+        )
+    try:
+        return Policy(
+            name=str(entry["name"]),
+            selector=FlowSelector(**selector_doc),
+            action=PolicyAction(entry.get("action", "allow")),
+            service_chain=tuple(entry.get("service_chain", ())),
+            granularity=Granularity(entry.get("granularity", "flow")),
+            inspect_reply=bool(entry.get("inspect_reply", True)),
+            priority=int(entry.get("priority", 100)),
+            fail_mode=(
+                FailMode(entry["fail_mode"])
+                if entry.get("fail_mode") is not None else None
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise PolicyFormatError(
+            f"invalid policy {entry.get('name')!r}: {exc}"
+        ) from exc
+
+
+def document_to_intents(document: Dict[str, object]) -> List[PolicyIntent]:
+    """The intents of a v1 or v2 document (v1 rows lift to intents), in
+    file order.  Structural validation only; conflicts are the
+    compiler's business."""
+    if not isinstance(document, dict):
+        raise PolicyFormatError("policy document must be an object")
+    version = document.get("schema_version", 1)
+    if version == 1:
+        unknown = set(document) - _V1_DOCUMENT_FIELDS
         if unknown:
             raise PolicyFormatError(
-                f"unknown selector fields in {entry['name']!r}: {sorted(unknown)}"
+                f"unknown document field(s) {sorted(unknown)}"
             )
-        try:
-            policy = Policy(
-                name=str(entry["name"]),
-                selector=FlowSelector(**selector_doc),
-                action=PolicyAction(entry.get("action", "allow")),
-                service_chain=tuple(entry.get("service_chain", ())),
-                granularity=Granularity(entry.get("granularity", "flow")),
-                inspect_reply=bool(entry.get("inspect_reply", True)),
-                priority=int(entry.get("priority", 100)),
-                fail_mode=(
-                    FailMode(entry["fail_mode"])
-                    if entry.get("fail_mode") is not None else None
-                ),
-            )
-        except (TypeError, ValueError) as exc:
+        entries = document.get("policies", [])
+        if not isinstance(entries, list):
+            raise PolicyFormatError("'policies' must be a list")
+        return [
+            intent_from_policy(_v1_entry_to_policy(entry)) for entry in entries
+        ]
+    if version == SCHEMA_VERSION:
+        unknown = set(document) - _V2_DOCUMENT_FIELDS
+        if unknown:
             raise PolicyFormatError(
-                f"invalid policy {entry.get('name')!r}: {exc}"
-            ) from exc
-        table.add(policy)
+                f"unknown document field(s) {sorted(unknown)}"
+            )
+        entries = document.get("intents", [])
+        if not isinstance(entries, list):
+            raise PolicyFormatError("'intents' must be a list")
+        try:
+            return [intent_from_dict(entry) for entry in entries]
+        except (TypeError, ValueError) as exc:
+            raise PolicyFormatError(str(exc)) from exc
+    raise PolicyFormatError(
+        f"unsupported schema_version {version!r} (know 1 and {SCHEMA_VERSION})"
+    )
+
+
+def table_from_dict(
+    document: Dict[str, object], verify: bool = False
+) -> PolicyTable:
+    """Deserialize a table, validating every field.
+
+    With ``verify=True`` the document also runs through the compiler's
+    conflict detector and error-severity findings raise
+    :class:`PolicyFormatError` -- nothing half-loaded escapes.
+    """
+    if not isinstance(document, dict):
+        raise PolicyFormatError("policy document must be an object")
+    default = _default_action(document)
+    intents = document_to_intents(document)
+    try:
+        result = compile_intents(intents, default_action=default)
+    except ValueError as exc:
+        raise PolicyFormatError(str(exc)) from exc
+    if verify and not result.ok:
+        raise PolicyFormatError(
+            "policy document rejected by conflict verification:\n"
+            + "\n".join(f"  {f}" for f in result.errors)
+        )
+    table = PolicyTable(default_action=default)
+    table.apply_compiled(result.table, source="policy_io")
+    table.version = 0  # a freshly loaded table starts at version zero
     return table
 
 
-def save_policies(table: PolicyTable, path: str) -> None:
-    """Write a table to a JSON file."""
+def save_policies(table, path: str) -> None:
+    """Write a table to a JSON file (v2 schema)."""
     with open(path, "w") as handle:
         json.dump(table_to_dict(table), handle, indent=2)
+        handle.write("\n")
 
 
-def load_policies(path: str) -> PolicyTable:
-    """Read a table from a JSON file."""
+def load_policies(path: str, verify: bool = False) -> PolicyTable:
+    """Read a table from a JSON file (either schema)."""
     with open(path) as handle:
         try:
             document = json.load(handle)
         except json.JSONDecodeError as exc:
             raise PolicyFormatError(f"not valid JSON: {exc}") from exc
-    return table_from_dict(document)
+    return table_from_dict(document, verify=verify)
+
+
+def load_intents(path: str):
+    """Read a file's intents + default action (for compile/check paths
+    that want the compiler's full report rather than a table)."""
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise PolicyFormatError(f"not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise PolicyFormatError("policy document must be an object")
+    return document_to_intents(document), _default_action(document)
+
+
+__all__ = [
+    "PolicyFormatError",
+    "PolicyConflictError",
+    "SCHEMA_VERSION",
+    "table_to_dict",
+    "table_from_dict",
+    "document_to_intents",
+    "save_policies",
+    "load_policies",
+    "load_intents",
+]

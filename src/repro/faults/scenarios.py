@@ -121,13 +121,13 @@ def chaos_policy_table(fail_mode: str) -> PolicyTable:
     """The scenario's policy: everything to the gateway rides an IDS
     chain, with the requested fail mode."""
     table = PolicyTable()
-    table.add(Policy(
+    table.begin(source="chaos").add(Policy(
         name="chaos-ids",
         selector=FlowSelector(dst_ip=GATEWAY_IP),
         action=PolicyAction.CHAIN,
         service_chain=("ids",),
         fail_mode=FailMode(fail_mode),
-    ))
+    )).commit()
     return table
 
 

@@ -110,6 +110,41 @@ class Match:
                 return False
         return True
 
+    def overlaps(self, other: "Match") -> bool:
+        """True when some frame could match both (field-wise algebra).
+
+        Two matches are disjoint exactly when some field is pinned to
+        different values on each side; everywhere else a frame carrying
+        the more specific side's values satisfies both.  The policy
+        compiler's conflict detector is built on this.
+        """
+        for f in fields(self):
+            ours = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if ours is not None and theirs is not None and ours != theirs:
+                return False
+        return True
+
+    def intersection(self, other: "Match") -> Optional["Match"]:
+        """The match space common to both, or None when disjoint.
+
+        Field-wise: a pinned value wins over a wildcard; two pinned
+        values must agree.  The result matches exactly the frames both
+        inputs match, and is what conflict reports print as "the
+        overlapping match space".
+        """
+        values = {}
+        for f in fields(self):
+            ours = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if ours is None:
+                values[f.name] = theirs
+            elif theirs is None or theirs == ours:
+                values[f.name] = ours
+            else:
+                return None
+        return Match(**values)
+
     def exact_index_key(self) -> Optional[Tuple]:
         """The hash key of a fully-specified match, or None if wildcard.
 

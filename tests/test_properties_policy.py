@@ -1,0 +1,189 @@
+"""Property tests: the compiled policy table is observably identical
+to the live table (same pattern as ``test_properties_flowtable``)."""
+
+import random
+
+from repro.core.policy import Policy, PolicyAction, PolicyTable, FlowSelector
+from repro.core.policy_compiler import (
+    PolicyIntent,
+    compile_intents,
+    normalize_intent,
+)
+from repro.net.packet import FlowNineTuple
+
+
+class TestCompiledLiveEquivalence:
+    """``CompiledPolicyTable.match`` must agree with
+    ``PolicyTable.match`` -- winner *and* rows-scanned -- for every
+    flow, over randomized intent sets mixing CIDRs, octet prefixes,
+    exact IPs, ports and priorities.
+
+    Seeded ``random`` (not hypothesis) so the run is deterministic and
+    the case count is guaranteed: >= 500 table/flow combinations.
+    """
+
+    ZONES = ("10.0.0.0/16", "10.1.0.0/16", "10.1.128.0/17",
+             "10.2.4.0/24", "0.0.0.0/0")
+    PREFIXES = ("10.0.", "10.1", "10.2.4", "10")
+    IPS = ("10.0.0.1", "10.1.0.2", "10.1.200.3", "10.2.4.9",
+           "10.10.0.1", "192.168.1.1", "10.255.255.254")
+    PORTS = (80, 443, 22, 8080)
+    PROTOS = (6, 17)
+
+    def _random_selector(self, rng):
+        kwargs = {}
+        roll = rng.random()
+        if roll < 0.3:
+            kwargs["src_cidr"] = rng.choice(self.ZONES)
+        elif roll < 0.5:
+            kwargs["src_ip_prefix"] = rng.choice(self.PREFIXES)
+        elif roll < 0.6:
+            kwargs["src_ip"] = rng.choice(self.IPS)
+        roll = rng.random()
+        if roll < 0.3:
+            kwargs["dst_cidr"] = rng.choice(self.ZONES)
+        elif roll < 0.5:
+            kwargs["dst_ip_prefix"] = rng.choice(self.PREFIXES)
+        elif roll < 0.6:
+            kwargs["dst_ip"] = rng.choice(self.IPS)
+        if rng.random() < 0.4:
+            kwargs["nw_proto"] = rng.choice(self.PROTOS)
+        if rng.random() < 0.3:
+            kwargs["tp_dst"] = rng.choice(self.PORTS)
+        return FlowSelector(**kwargs)
+
+    def _random_intent(self, rng, index):
+        action = rng.choice(
+            (PolicyAction.ALLOW, PolicyAction.DROP, PolicyAction.CHAIN)
+        )
+        return PolicyIntent(
+            name=f"intent-{index}",
+            action=action,
+            selector=self._random_selector(rng),
+            service_chain=("ids",) if action is PolicyAction.CHAIN else (),
+            priority=rng.choice((50, 100, 100, 100, 200)),
+        )
+
+    def _random_flow(self, rng):
+        return FlowNineTuple(
+            vlan=None,
+            dl_src="aa:aa", dl_dst="bb:bb", dl_type=0x0800,
+            nw_src=rng.choice(self.IPS),
+            nw_dst=rng.choice(self.IPS),
+            nw_proto=rng.choice(self.PROTOS),
+            tp_src=rng.randint(1024, 65535),
+            tp_dst=rng.choice(self.PORTS),
+        )
+
+    def test_compiled_match_equivalent_to_live_table(self):
+        cases = 0
+        for seed in range(40):
+            rng = random.Random(seed)
+            intents = [
+                self._random_intent(rng, index)
+                for index in range(rng.randint(1, 12))
+            ]
+            default = rng.choice((PolicyAction.ALLOW, PolicyAction.DROP))
+            # The artifact (conflicts allowed: equivalence must hold for
+            # messy tables too, not just verified ones)...
+            compiled = compile_intents(
+                intents, default_action=default
+            ).table
+            # ...and the live oracle, built through single-row commits
+            # in intent order (incremental stable sorts == one final
+            # stable sort, so the scan order must come out identical).
+            live = PolicyTable(default_action=default)
+            for intent in intents:
+                live.begin().add(normalize_intent(intent)).commit()
+            assert [p.name for p in compiled] == [p.name for p in live]
+            for _ in range(15):
+                probe = self._random_flow(rng)
+                hit_c, scanned_c = compiled.match(probe)
+                hit_l, scanned_l = live.match(probe)
+                assert (hit_c is None) == (hit_l is None), (seed, probe)
+                if hit_c is not None:
+                    assert hit_c.name == hit_l.name, (seed, probe)
+                assert scanned_c == scanned_l, (seed, probe)
+                assert compiled.effective_action(probe) == \
+                    live.effective_action(probe)
+                cases += 1
+        assert cases >= 500, f"only {cases} randomized lookups exercised"
+
+    def test_apply_compiled_preserves_match_behavior(self):
+        """Swapping an artifact into a live table keeps every lookup
+        identical to querying the artifact directly."""
+        cases = 0
+        for seed in range(10):
+            rng = random.Random(1000 + seed)
+            intents = [
+                self._random_intent(rng, index)
+                for index in range(rng.randint(1, 8))
+            ]
+            compiled = compile_intents(intents).table
+            live = PolicyTable()
+            live.apply_compiled(compiled)
+            for _ in range(10):
+                probe = self._random_flow(rng)
+                hit_c, scanned_c = compiled.match(probe)
+                hit_l, scanned_l = live.match(probe)
+                assert scanned_c == scanned_l
+                assert (hit_c.name if hit_c else None) == \
+                    (hit_l.name if hit_l else None)
+                cases += 1
+        assert cases >= 100
+
+
+class TestSelectorRegressions:
+    """Octet-boundary and CIDR selector semantics (the '10.1' vs
+    10.10.0.1 bug)."""
+
+    def flow(self, src, dst="10.0.0.2"):
+        return FlowNineTuple(None, "a", "b", 0x0800, src, dst, 6, 1, 80)
+
+    def test_bare_prefix_is_octet_aligned(self):
+        selector = FlowSelector(src_ip_prefix="10.1")
+        assert selector.matches(self.flow("10.1.0.1"))
+        assert selector.matches(self.flow("10.1.255.9"))
+        assert not selector.matches(self.flow("10.10.0.1"))
+        assert not selector.matches(self.flow("10.100.0.1"))
+
+    def test_trailing_dot_prefix_keeps_historical_shape(self):
+        selector = FlowSelector(src_ip_prefix="10.1.")
+        assert selector.matches(self.flow("10.1.0.1"))
+        assert not selector.matches(self.flow("10.10.0.1"))
+
+    def test_exact_prefix_equals_ip(self):
+        selector = FlowSelector(src_ip_prefix="10.1.0.1")
+        assert selector.matches(self.flow("10.1.0.1"))
+        assert not selector.matches(self.flow("10.1.0.10"))
+
+    def test_cidr_selectors(self):
+        selector = FlowSelector(src_cidr="10.1.128.0/17",
+                                dst_cidr="10.0.0.0/16")
+        assert selector.matches(self.flow("10.1.200.1", "10.0.3.4"))
+        assert not selector.matches(self.flow("10.1.0.1", "10.0.3.4"))
+        assert not selector.matches(self.flow("10.1.200.1", "10.9.3.4"))
+
+    def test_cidr_validated_at_construction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FlowSelector(src_cidr="10.1.0.1/16")  # host bits
+        with pytest.raises(ValueError):
+            FlowSelector(dst_cidr="10.1.0.0")  # no length
+
+    def test_cidr_counts_toward_specificity(self):
+        wide = FlowSelector(src_cidr="10.0.0.0/16")
+        narrow = FlowSelector(src_cidr="10.0.0.0/16", tp_dst=80)
+        assert narrow.specificity() > wide.specificity()
+
+    def test_policy_table_orders_cidr_policies(self):
+        table = PolicyTable()
+        txn = table.begin()
+        txn.add(Policy(name="wide", selector=FlowSelector(
+            src_cidr="10.0.0.0/16"), action=PolicyAction.ALLOW))
+        txn.add(Policy(name="narrow", selector=FlowSelector(
+            src_cidr="10.0.0.0/16", tp_dst=80), action=PolicyAction.DROP))
+        txn.commit()
+        hit, _ = table.match(self.flow("10.0.0.1"))
+        assert hit.name == "narrow"  # specificity breaks the tie
