@@ -1,7 +1,8 @@
 # Convenience targets for the LiveSec reproduction.
 
 .PHONY: install test bench bench-smoke lint stats-smoke chaos-smoke \
-	chaos-determinism replay-smoke policy-smoke examples all
+	chaos-determinism accountability-smoke replay-smoke policy-smoke \
+	examples all
 
 install:
 	python setup.py develop
@@ -50,6 +51,27 @@ chaos-determinism:
 	else \
 		echo "chaos determinism OK ($$a)"; \
 	fi
+
+# Seeded compromised-switch scenario under forwarding accountability:
+# the misbehaving datapath must be convicted and quarantined within
+# bounded sim time, its sessions re-steered, and the event log
+# digest-stable across two same-seed runs.
+accountability-smoke:
+	@PYTHONPATH=src python -m repro chaos --scenario compromised-switch \
+		--variant skip-waypoint --seed 0 --assert-detected \
+		--assert-recovered | tee /tmp/acct-a.txt
+	@PYTHONPATH=src python -m repro chaos --scenario compromised-switch \
+		--variant skip-waypoint --seed 0 --assert-detected \
+		--assert-recovered | tee /tmp/acct-b.txt
+	@a=$$(grep -o 'digest [0-9a-f]*' /tmp/acct-a.txt); \
+	b=$$(grep -o 'digest [0-9a-f]*' /tmp/acct-b.txt); \
+	if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+		echo "accountability digest mismatch: '$$a' vs '$$b'"; exit 1; \
+	else \
+		echo "accountability determinism OK ($$a)"; \
+	fi
+	@grep -q 'quarantined=\[2\]' /tmp/acct-a.txt || \
+		{ echo "compromised dpid 2 was not quarantined"; exit 1; }
 
 # Record a seeded scenario's event log to JSONL, replay it from disk,
 # and require the replayed digest to match the live run's exactly.

@@ -234,16 +234,27 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults import run_chaos_scenario
-
-    report = run_chaos_scenario(
-        seed=args.seed,
-        fail_mode=args.fail_mode,
-        crash=args.crash,
-        duration_s=args.duration,
-        channel_drop_rate=args.channel_drop_rate,
-        record_jsonl=args.record,
+    from repro.faults import (
+        run_chaos_scenario,
+        run_compromised_switch_scenario,
     )
+
+    if args.scenario == "compromised-switch":
+        report = run_compromised_switch_scenario(
+            seed=args.seed,
+            variant=args.variant,
+            duration_s=args.duration,
+            record_jsonl=args.record,
+        )
+    else:
+        report = run_chaos_scenario(
+            seed=args.seed,
+            fail_mode=args.fail_mode,
+            crash=args.crash,
+            duration_s=args.duration,
+            channel_drop_rate=args.channel_drop_rate,
+            record_jsonl=args.record,
+        )
     if args.format == "json":
         import json
 
@@ -256,6 +267,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.assert_recovered and report.unrecovered_sessions > 0:
         print(f"FAIL: {report.unrecovered_sessions} session(s) left"
               " unrecovered", file=sys.stderr)
+        return 1
+    if args.assert_detected and not report.quarantined_dpids:
+        print("FAIL: compromised switch was never detected/quarantined",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -483,6 +498,17 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--channel-drop-rate", type=float, default=0.0,
                        dest="channel_drop_rate",
                        help="also drop this fraction of OpenFlow messages")
+    chaos.add_argument("--scenario", default="element-crash",
+                       choices=["element-crash", "compromised-switch"],
+                       help="element-crash (default) kills service VMs;"
+                            " compromised-switch turns the data plane"
+                            " adversarial under forwarding accountability")
+    chaos.add_argument("--variant", default="skip-waypoint",
+                       choices=["skip-waypoint", "misroute", "tag-strip"],
+                       help="compromised-switch misbehavior variant")
+    chaos.add_argument("--assert-detected", action="store_true",
+                       help="exit 1 unless a switch was quarantined"
+                            " (compromised-switch scenario)")
     chaos.add_argument("--format", default="text", choices=["text", "json"])
     chaos.add_argument("--assert-recovered", action="store_true",
                        dest="assert_recovered",

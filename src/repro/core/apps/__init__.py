@@ -9,6 +9,7 @@ deterministic dispatch -- keeps the fault-injection digests
 reproducible.
 """
 
+from repro.core.apps.accountability import AccountabilityApp
 from repro.core.apps.base import App, AppContext
 from repro.core.apps.host_tracker import HostTrackerApp
 from repro.core.apps.monitor import MonitorApp
@@ -18,6 +19,7 @@ from repro.core.apps.steering import SteeringApp
 from repro.core.apps.topology import TopologyApp
 
 __all__ = [
+    "AccountabilityApp",
     "App",
     "AppContext",
     "HostTrackerApp",

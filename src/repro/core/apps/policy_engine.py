@@ -108,15 +108,23 @@ class PolicyEngineApp(App):
     def resolve_chain(
         self, policy: Policy, flow: FlowNineTuple, src: HostRecord
     ) -> Optional[Tuple[List[HostRecord], List[str]]]:
-        """Pick one element per chained service type via the balancer."""
+        """Pick one element per chained service type via the balancer.
+
+        Elements homed on a quarantined datapath (convicted by the
+        accountability app) are never picked: a compromised switch
+        must not sit on the inspection path of new or re-steered
+        sessions."""
+        quarantined = self.ctx.controller.quarantined_dpids
         waypoints: List[HostRecord] = []
         element_macs: List[str] = []
         for service_type in policy.service_chain:
             candidates = self.ctx.registry.candidates(service_type)
-            located = [
-                c for c in candidates
-                if self.ctx.nib.host_by_mac(c.mac) is not None
-            ]
+            located = []
+            for candidate in candidates:
+                record = self.ctx.nib.host_by_mac(candidate.mac)
+                if record is None or record.dpid in quarantined:
+                    continue
+                located.append(candidate)
             if not located:
                 return None
             chosen = self.ctx.balancer.assign(

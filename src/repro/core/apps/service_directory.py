@@ -19,6 +19,7 @@ from typing import Optional
 from repro.core import messages as svcmsg
 from repro.core.apps.base import App, AppContext
 from repro.core.bus import (
+    ConnTrackUpdateIn,
     ElementExpired,
     FlowBlockRequested,
     ServiceFrameIn,
@@ -59,6 +60,8 @@ class ServiceDirectoryApp(App):
         try:
             if isinstance(message, svcmsg.OnlineMessage):
                 self._handle_online(packet_in, message)
+            elif isinstance(message, svcmsg.ConnTrackMessage):
+                self._handle_conntrack(message)
             else:
                 self._handle_event_report(message)
         except CertificateError:
@@ -92,6 +95,22 @@ class ServiceDirectoryApp(App):
             mac=message.element_mac, cpu=message.cpu, pps=message.pps,
             flows=message.active_flows,
         )
+
+    def _handle_conntrack(self, message: svcmsg.ConnTrackMessage) -> None:
+        """A stateful firewall reported a connection-state transition:
+        certify it, log it for the global view, and publish it for
+        observers (accountability, monitoring)."""
+        self.ctx.registry.verify_event(message)
+        self.ctx.count("conntrack_reports")
+        self.ctx.log.emit(
+            self.ctx.sim.now, EventKind.CONNTRACK_STATE,
+            element=message.element_mac,
+            state=message.state,
+            conn=",".join(
+                "" if part is None else str(part) for part in message.conn
+            ),
+        )
+        self.ctx.bus.publish(ConnTrackUpdateIn(message=message))
 
     def _handle_event_report(
         self, message: svcmsg.EventReportMessage

@@ -30,6 +30,7 @@ from repro.core.bus import (
     SourceBlockRequested,
     SwitchJoined,
     SwitchLeft,
+    SwitchQuarantined,
     UplinksLost,
 )
 from repro.core.events import EventKind
@@ -45,7 +46,8 @@ from repro.core.routing import (
 from repro.core.sessions import Session
 from repro.net.packet import FlowNineTuple, extract_nine_tuple
 from repro.openflow import messages as ofmsg
-from repro.openflow.actions import Output
+from repro.openflow.actions import Output, PopPathTag, PushPathTag
+from repro.openflow.pathproof import PathDescriptor
 from repro.openflow.pipeline import InstallPipeline
 
 FAILOVER_OUTCOMES = ("recovered", "fail-open", "fail-closed", "torn-down")
@@ -90,6 +92,7 @@ class SteeringApp(App):
         self.listen(LinkTimedOut, self.on_topology_changed)
         self.listen(HostMoved, self.on_topology_changed)
         self.listen(PolicyReloaded, self.on_policy_reloaded)
+        self.listen(SwitchQuarantined, self.on_switch_quarantined)
 
     def _setup_metrics(self) -> None:
         registry = self.ctx.metrics
@@ -228,9 +231,11 @@ class SteeringApp(App):
         waypoints: List[HostRecord],
         policy: Optional[Policy],
         session_id: int,
-    ) -> List[RuleSpec]:
+    ) -> Tuple[List[RuleSpec], Optional[PathDescriptor]]:
         """Both directions' flow entries for one session (rules[0] is
-        the forward ingress entry, the only one arming teardown)."""
+        the forward ingress entry, the only one arming teardown), plus
+        the forward path's accountability descriptor (None when
+        accountability is disabled)."""
         forward = self.rule_cache.path_rules(
             self.ctx.nib, flow, src, dst, waypoints,
             idle_timeout=self.ctx.controller.idle_timeout_s,
@@ -249,7 +254,43 @@ class SteeringApp(App):
         # the reverse entries anyway, and a late reply packet simply
         # punts and re-forms the session from the other side).
         reverse[0] = dc_replace(reverse[0], send_flow_removed=False)
-        return forward + reverse
+        descriptor = None
+        if self.ctx.controller.accountability_enabled:
+            forward, descriptor = self._decorate_accountability(
+                forward, session_id
+            )
+        return forward + reverse, descriptor
+
+    def _decorate_accountability(
+        self, forward: List[RuleSpec], session_id: int
+    ) -> Tuple[List[RuleSpec], PathDescriptor]:
+        """Arm the forward path with its SDNsec-style proof chain.
+
+        The ingress rule pushes the per-session path descriptor (the
+        expected dpid sequence in rule-traversal order: a waypoint's
+        switch legitimately appears twice) and the egress rule pops it
+        just before delivery, triggering the proof report.  The cache
+        hands back rules whose action tuples may be shared between
+        sessions, so decorated rules are rebuilt with ``dc_replace``
+        rather than mutated in place -- the descriptor embeds the
+        session id and must be unique per session."""
+        descriptor = PathDescriptor.for_path(
+            self.ctx.controller.secret, session_id,
+            [rule.dpid for rule in forward],
+        )
+        forward = list(forward)
+        first = forward[0]
+        forward[0] = dc_replace(
+            first, actions=(PushPathTag(descriptor),) + tuple(first.actions)
+        )
+        last = forward[-1]
+        actions = list(last.actions)
+        for index in range(len(actions) - 1, -1, -1):
+            if isinstance(actions[index], Output):
+                actions.insert(index, PopPathTag())
+                break
+        forward[-1] = dc_replace(last, actions=tuple(actions))
+        return forward, descriptor
 
     def _install_session(
         self,
@@ -262,7 +303,7 @@ class SteeringApp(App):
         policy: Optional[Policy],
     ) -> None:
         session_id = self.ctx.sessions.next_id()
-        rules = self._compute_session_rules(
+        rules, descriptor = self._compute_session_rules(
             flow, src, dst, waypoints, policy, session_id
         )
         session = self.ctx.sessions.create(
@@ -275,6 +316,7 @@ class SteeringApp(App):
             now=self.ctx.sim.now,
             session_id=session_id,
         )
+        session.path_descriptor = descriptor
         # "All above flow entries can be calculated and enforced
         # simultaneously" -- the ingress FlowMod releases the buffered
         # first packet through the freshly installed actions.
@@ -489,19 +531,53 @@ class SteeringApp(App):
         for session in affected:
             self._failover_session(session, event.record.mac)
 
-    def _failover_session(self, session: Session, dead_mac: str) -> None:
+    def on_switch_quarantined(self, event: SwitchQuarantined) -> None:
+        """A datapath was convicted by the accountability app: stop
+        trusting it as a service-element location.  Sessions whose
+        chain runs through an element homed on the quarantined switch
+        are re-steered exactly like an element-death failover (the
+        policy engine now filters quarantined locations, so the
+        replacement chain lands elsewhere).  Pure transit through the
+        switch is left alone -- the fabric may offer no alternative
+        path, and transit stamping still works under a skip-waypoint
+        compromise."""
+        self.rule_cache.clear()
+        affected = []
+        for session in self.ctx.sessions:
+            if session.blocked:
+                continue
+            for mac in session.element_macs:
+                record = self.ctx.nib.host_by_mac(mac)
+                if record is not None and record.dpid == event.dpid:
+                    affected.append((session, mac))
+                    break
+        for session, mac in affected:
+            self._failover_session(
+                session, mac, cause=f"quarantine:{event.reason}"
+            )
+
+    def _failover_session(
+        self, session: Session, dead_mac: str,
+        cause: Optional[str] = None,
+    ) -> None:
         """Re-steer a live session whose chain lost an element.
 
         The chain is re-dispatched through the balancer over the
         surviving elements; if no healthy element remains the policy's
         fail mode decides: *open* routes the session directly
-        (uninspected), *closed* blocks it at the ingress."""
+        (uninspected), *closed* blocks it at the ingress.  ``cause``
+        annotates the FLOW_FAILOVER event when the element did not die
+        but its switch was quarantined."""
         outcome = self._attempt_failover(session, dead_mac)
         self._failover_counters[outcome].inc()
-        self.ctx.log.emit(
-            self.ctx.sim.now, EventKind.FLOW_FAILOVER,
+        data = dict(
             session=session.session_id, dead_element=dead_mac,
             outcome=outcome, user_mac=session.src_mac,
+        )
+        if cause is not None:
+            data["cause"] = cause
+        self.ctx.log.emit(
+            self.ctx.sim.now, EventKind.FLOW_FAILOVER, **data
         )
 
     def _attempt_failover(self, session: Session, dead_mac: str) -> str:
@@ -532,7 +608,7 @@ class SteeringApp(App):
             waypoints, element_macs = resolved
             outcome = "recovered"
         try:
-            new_rules = self._compute_session_rules(
+            new_rules, descriptor = self._compute_session_rules(
                 session.flow, src, dst, waypoints, policy, session.session_id
             )
         except RoutingError:
@@ -540,6 +616,7 @@ class SteeringApp(App):
             return "torn-down"
         self._replace_session_rules(session, new_rules)
         session.element_macs = tuple(element_macs)
+        session.path_descriptor = descriptor
         return outcome
 
     def _replace_session_rules(

@@ -42,6 +42,8 @@ __all__ = [
     "PortStatsIn",
     "FlowStatsIn",
     "BarrierReplyIn",
+    "PathProofIn",
+    "TaggedPacketIn",
     # Domain events published by apps for other apps.
     "HostExpired",
     "HostMoved",
@@ -50,6 +52,9 @@ __all__ = [
     "SourceBlockRequested",
     "UplinksLost",
     "PolicyReloaded",
+    "ConnTrackUpdateIn",
+    "PathViolation",
+    "SwitchQuarantined",
 ]
 
 
@@ -150,6 +155,24 @@ class BarrierReplyIn:
 
 
 @dataclass(frozen=True, eq=False)
+class PathProofIn:
+    """An egress switch reported a forwarding-accountability proof
+    (carries the raw :class:`repro.openflow.messages.PathProofReport`)."""
+
+    message: object
+
+
+@dataclass(frozen=True, eq=False)
+class TaggedPacketIn:
+    """A frame still carrying a path tag was punted to the controller:
+    it left its expected path (misroute evidence), so it must reach
+    the accountability app, never the steering first-packet path."""
+
+    packet_in: object
+    tag: object  # pathproof.PathTag
+
+
+@dataclass(frozen=True, eq=False)
 class HostExpired:
     """The host tracker expired a silent host (carries its record)."""
 
@@ -215,6 +238,41 @@ class PolicyReloaded:
     """
 
     commit: object  # PolicyCommit
+
+
+@dataclass(frozen=True, eq=False)
+class ConnTrackUpdateIn:
+    """A stateful firewall element reported a connection-state
+    transition over the in-band wire channel (decoded message rides
+    along).  The service directory publishes it after certificate
+    verification; observers log/count it."""
+
+    message: object  # repro.core.messages.ConnTrackMessage
+
+
+@dataclass(frozen=True, eq=False)
+class PathViolation:
+    """The accountability app attributed a forwarding violation.
+
+    ``dpid`` is the accused datapath; ``reason`` is the proof-chain
+    verdict (``mark-mismatch``/``chain-truncated``/...) or
+    ``proof-silence`` when detected by the absence audit.  Steering
+    reacts by quarantining and rerouting sessions off the switch.
+    """
+
+    dpid: int
+    reason: str
+    session_id: Optional[int] = None
+    evidence: str = "egress-proof"  # "egress-proof" | "stray-tag" | "audit"
+
+
+@dataclass(frozen=True, eq=False)
+class SwitchQuarantined:
+    """The controller quarantined a datapath after a PathViolation:
+    no new waypoint placement there, existing sessions rerouted."""
+
+    dpid: int
+    reason: str
 
 
 # ======================================================================

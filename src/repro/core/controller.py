@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core import messages as svcmsg
 from repro.core.apps import (
+    AccountabilityApp,
     App,
     AppContext,
     HostTrackerApp,
@@ -66,11 +67,13 @@ from repro.core.bus import (
     FlowStatsIn,
     LinkDiscovered,
     LinkTimedOut,
+    PathProofIn,
     PolicyReloaded,
     PortStatsIn,
     ServiceFrameIn,
     SwitchJoined,
     SwitchLeft,
+    TaggedPacketIn,
 )
 from repro.core.directory import DirectoryProxy
 from repro.core.events import EventLog
@@ -147,12 +150,22 @@ class LiveSecController(ControllerBase):
         install_timeout_s: float = DEFAULT_INSTALL_TIMEOUT_S,
         install_batching: bool = True,
         event_retention: Optional[int] = None,
+        accountability: bool = False,
     ):
         super().__init__(sim, lldp_enabled=lldp_enabled)
         if on_no_element not in ("allow", "drop"):
             raise ValueError(
                 f"on_no_element must be allow|drop, got {on_no_element}"
             )
+        # Forwarding accountability (SDNsec-style path proofs).  Off by
+        # default: tag stamping adds per-frame work and per-session
+        # egress reports, and existing deterministic digests predate it.
+        self.accountability_enabled = accountability
+        self.secret = secret
+        # dpid -> quarantine reason.  A dict, not a set: iteration order
+        # is insertion order (determinism) and the reason is useful to
+        # the policy engine's logs.
+        self.quarantined_dpids: Dict[int, str] = {}
         # Shared state surfaces (the single source of truth between apps).
         self.nib = NetworkInformationBase(host_timeout_s=host_timeout_s)
         self.policies = policies if policies is not None else PolicyTable()
@@ -207,6 +220,9 @@ class LiveSecController(ControllerBase):
             ),
             MonitorApp(ctx, stats_interval_s=stats_interval_s),
         ):
+            self._apps[app.name] = app
+        if accountability:
+            app = AccountabilityApp(ctx)
             self._apps[app.name] = app
         for app in self._apps.values():
             app.start()
@@ -332,11 +348,23 @@ class LiveSecController(ControllerBase):
                     ServiceFrameIn(packet_in=event, payload=transport.payload)
                 )
             return
+        if frame.path_tag is not None:
+            # A still-tagged data frame punted to the controller is
+            # evidence of misrouting (the PopPathTag egress rule never
+            # ran); it must never be steered as a fresh first packet.
+            with self._packet_in_hists["data"].time():
+                self.bus.publish(
+                    TaggedPacketIn(packet_in=event, tag=frame.path_tag)
+                )
+            return
         if frame.ip() is not None:
             with self._packet_in_hists["data"].time():
                 self.bus.publish(DataPacketIn(packet_in=event))
             return
         # Unknown ethertype (e.g. stray BPDUs leaking through): ignore.
+
+    def on_path_proof(self, event: ofmsg.PathProofReport) -> None:
+        self.bus.publish(PathProofIn(message=event))
 
     def on_flow_removed(self, event: ofmsg.FlowRemoved) -> None:
         self.bus.publish(FlowRemovedIn(message=event))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.conntrack import ConnTrackReplicationGroup
 from repro.core.controller import LiveSecController
 from repro.core.policy import PolicyTable
 from repro.core.policy_io import load_policies
@@ -39,6 +40,11 @@ class LiveSecNetwork:
     monitoring: MonitoringComponent
     elements: List[ServiceElement] = field(default_factory=list)
     channels: Dict[int, SecureChannel] = field(default_factory=dict)
+    # Per-service-type conntrack replication groups: every stateful
+    # firewall of one type shares session state with its replicas.
+    conntrack_groups: Dict[str, ConnTrackReplicationGroup] = field(
+        default_factory=dict
+    )
     started: bool = False
 
     # ------------------------------------------------------------------
@@ -99,6 +105,12 @@ class LiveSecNetwork:
             port_b=element.next_free_port().number,
         )
         element.provision(self.controller.registry.issue_certificate(mac))
+        if hasattr(element, "join_replication_group"):
+            group = self.conntrack_groups.get(element.service_type)
+            if group is None:
+                group = ConnTrackReplicationGroup(self.sim)
+                self.conntrack_groups[element.service_type] = group
+            element.join_replication_group(group)
         self.elements.append(element)
         self._register_capacity(switch)
         return element
@@ -131,11 +143,18 @@ class LiveSecNetwork:
     # Internals
 
     def _connect_channels(self, control_latency_s: float) -> None:
+        from repro.openflow.pathproof import derive_switch_secret
+
         for switch in self.topology.all_openflow_switches():
             channel = SecureChannel(
                 self.sim, switch, self.controller, latency_s=control_latency_s
             )
             channel.connect()
+            # Per-switch path-proof keys derive from the deployment
+            # secret, so a non-default controller secret still verifies.
+            switch.path_secret = derive_switch_secret(
+                self.controller.secret, switch.dpid
+            )
             self.channels[switch.dpid] = channel
             switch.attach_metrics(self.controller.metrics)
             self._register_capacity(switch)
@@ -194,6 +213,7 @@ def build_livesec_network(
     element_timeout_s: Optional[float] = None,
     install_batching: bool = True,
     event_retention: Optional[int] = None,
+    accountability: bool = False,
     sim: Optional[Simulator] = None,
     **topology_kwargs,
 ) -> LiveSecNetwork:
@@ -236,6 +256,7 @@ def build_livesec_network(
         element_timeout_s=element_timeout_s,
         install_batching=install_batching,
         event_retention=event_retention,
+        accountability=accountability,
     )
     monitoring = MonitoringComponent(controller.log)
     network = LiveSecNetwork(

@@ -62,6 +62,9 @@ class EventKind:
     FLOW_FAILOVER = "flow-failover"
     SWITCH_RESYNC = "switch-resync"
     FAULT_INJECTED = "fault-injected"
+    PATH_VIOLATION = "path-violation"
+    SWITCH_QUARANTINED = "switch-quarantined"
+    CONNTRACK_STATE = "conntrack-state"
 
 
 #: High-churn periodic samples: compaction may collapse them to the

@@ -27,6 +27,7 @@ LEGACY_COUNTER_NAMES = (
     "orphan_chain_frames",
     "no_element_fallback",
     "routing_deferred",
+    "conntrack_reports",
 )
 
 

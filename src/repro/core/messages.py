@@ -74,7 +74,23 @@ class EventReportMessage:
     detail: Dict[str, str] = field(default_factory=dict)
 
 
-ServiceMessage = Union[OnlineMessage, EventReportMessage]
+@dataclass
+class ConnTrackMessage:
+    """A stateful firewall's connection-state transition report.
+
+    ``conn`` is the connection's IP five-tuple
+    ``(nw_src, nw_dst, nw_proto, tp_src, tp_dst)``; ``state`` is
+    NEW/ESTABLISHED/CLOSED.  Bounded chatter: elements report
+    transitions, never per-packet hits.
+    """
+
+    element_mac: str
+    certificate: str
+    state: str
+    conn: tuple  # (nw_src, nw_dst, nw_proto, tp_src, tp_dst)
+
+
+ServiceMessage = Union[OnlineMessage, EventReportMessage, ConnTrackMessage]
 
 
 class MessageFormatError(ValueError):
@@ -131,6 +147,17 @@ class WireCodec:
         )
         return "|".join(parts).encode()
 
+    def encode_conntrack(self, message: ConnTrackMessage) -> bytes:
+        parts = [
+            self.magic.decode(),
+            message.certificate,
+            "CONNTRACK",
+            f"mac={message.element_mac}",
+            f"state={message.state}",
+            f"conn={self._encode_conn(message.conn)}",
+        ]
+        return "|".join(parts).encode()
+
     # ---------------------------------------------------------- decode
 
     def decode(self, fields_list: List[str]) -> ServiceMessage:
@@ -144,6 +171,8 @@ class WireCodec:
             return self._decode_online(certificate, kv)
         if kind == "EVENT":
             return self._decode_event(certificate, kv)
+        if kind == "CONNTRACK":
+            return self._decode_conntrack(certificate, kv)
         raise MessageFormatError(f"unknown message kind {kind!r}")
 
     def _decode_online(
@@ -202,6 +231,22 @@ class WireCodec:
             kind=event_kind,
             flow=flow,
             detail=detail,
+        )
+
+    _CONNTRACK_STATES = ("NEW", "ESTABLISHED", "CLOSED")
+
+    def _decode_conntrack(
+        self, certificate: str, kv: Dict[str, str]
+    ) -> ConnTrackMessage:
+        self._check_inventory(kv, ("mac", "state", "conn"), ())
+        state = kv["state"]
+        if state not in self._CONNTRACK_STATES:
+            raise MessageFormatError(f"bad CONNTRACK state {state!r}")
+        return ConnTrackMessage(
+            element_mac=kv["mac"],
+            certificate=certificate,
+            state=state,
+            conn=self._decode_conn(kv["conn"]),
         )
 
     # ---------------------------------------------------------- helpers
@@ -267,6 +312,28 @@ class WireCodec:
         except ValueError as exc:
             raise MessageFormatError(f"bad flow tuple {text!r}") from exc
 
+    @staticmethod
+    def _encode_conn(conn: tuple) -> str:
+        if len(conn) != 5:
+            raise ValueError(f"bad five-tuple {conn!r}")
+        return ",".join("" if item is None else str(item) for item in conn)
+
+    @staticmethod
+    def _decode_conn(text: str) -> tuple:
+        parts = text.split(",")
+        if len(parts) != 5:
+            raise MessageFormatError(f"bad five-tuple {text!r}")
+        try:
+            return (
+                parts[0] or None,
+                parts[1] or None,
+                int(parts[2]) if parts[2] else None,
+                int(parts[3]) if parts[3] else None,
+                int(parts[4]) if parts[4] else None,
+            )
+        except ValueError as exc:
+            raise MessageFormatError(f"bad five-tuple {text!r}") from exc
+
 
 #: Codec registry, keyed by wire magic.  ``decode`` dispatches here;
 #: adding a format revision means registering a new codec under a new
@@ -289,6 +356,10 @@ def encode_online(message: OnlineMessage) -> bytes:
 
 def encode_event(message: EventReportMessage) -> bytes:
     return CURRENT.encode_event(message)
+
+
+def encode_conntrack(message: ConnTrackMessage) -> bytes:
+    return CURRENT.encode_conntrack(message)
 
 
 def decode(payload: bytes) -> ServiceMessage:

@@ -37,10 +37,23 @@ class Session:
     created_at: float
     blocked: bool = False
     application: Optional[str] = None  # filled in by L7 identification
+    # Forwarding accountability: the expected forward-path descriptor
+    # stamped into this session's ingress rule (None when disabled).
+    path_descriptor: Optional[object] = None
 
     @property
     def is_steered(self) -> bool:
         return bool(self.element_macs)
+
+    def dpids_on_path(self) -> Tuple[int, ...]:
+        """Distinct dpids on the session's expected forward path."""
+        if self.path_descriptor is None:
+            return ()
+        seen = []
+        for dpid in self.path_descriptor.dpids:
+            if dpid not in seen:
+                seen.append(dpid)
+        return tuple(seen)
 
 
 class SessionTable:

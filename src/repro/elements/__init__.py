@@ -12,6 +12,8 @@ capacity model so overload is observable.
 * :mod:`repro.elements.l7filter` -- l7-filter-like protocol
   identification,
 * :mod:`repro.elements.firewall` -- stateless ACL firewall,
+* :mod:`repro.elements.stateful_firewall` -- SDFW-style stateful
+  distributed firewall with replicated connection tracking,
 * :mod:`repro.elements.scanner` -- virus scanning,
 * :mod:`repro.elements.content` -- content inspection / DLP,
 * :mod:`repro.elements.signatures` -- the rule/pattern definitions.
@@ -21,6 +23,7 @@ from repro.elements.base import ServiceElement
 from repro.elements.ids import IntrusionDetectionElement
 from repro.elements.l7filter import ProtocolIdentificationElement
 from repro.elements.firewall import FirewallElement
+from repro.elements.stateful_firewall import StatefulFirewallElement
 from repro.elements.scanner import VirusScanElement
 from repro.elements.content import ContentInspectionElement
 from repro.elements.ratelimit import RateAnomalyElement
@@ -29,6 +32,7 @@ ELEMENT_TYPES = {
     "ids": IntrusionDetectionElement,
     "l7": ProtocolIdentificationElement,
     "firewall": FirewallElement,
+    "sfw": StatefulFirewallElement,
     "virus": VirusScanElement,
     "content": ContentInspectionElement,
     "ddos": RateAnomalyElement,
@@ -39,6 +43,7 @@ __all__ = [
     "IntrusionDetectionElement",
     "ProtocolIdentificationElement",
     "FirewallElement",
+    "StatefulFirewallElement",
     "VirusScanElement",
     "ContentInspectionElement",
     "RateAnomalyElement",

@@ -57,6 +57,11 @@ class FirewallElement(ServiceElement):
         self.acl = tuple(acl)
         self.default_action = default_action
         self._denied_flows: Set[FlowNineTuple] = set()
+        # IP five-tuples the ACL admitted: return traffic of a
+        # permitted flow is allowed without a mirrored rule (tracked at
+        # the network/transport level because the steering chain
+        # rewrites MAC labels between the two directions).
+        self._allowed_five_tuples: Set[tuple] = set()
         self.denies = 0
 
     def evaluate(self, flow: FlowNineTuple) -> str:
@@ -66,8 +71,19 @@ class FirewallElement(ServiceElement):
                 return rule.action
         return self.default_action
 
+    @staticmethod
+    def _five_tuple(flow: FlowNineTuple) -> tuple:
+        return (flow.nw_src, flow.nw_dst, flow.nw_proto,
+                flow.tp_src, flow.tp_dst)
+
     def inspect(self, frame: Ethernet, flow: FlowNineTuple) -> List[Verdict]:
         if flow in self._denied_flows:
+            return []
+        five = self._five_tuple(flow)
+        # Reply direction of a flow this firewall already permitted:
+        # allowed, even under a default-deny ACL with no reverse rule.
+        reverse = (five[1], five[0], five[2], five[4], five[3])
+        if reverse in self._allowed_five_tuples:
             return []
         if self.evaluate(flow) == "deny":
             self._denied_flows.add(flow)
@@ -82,4 +98,5 @@ class FirewallElement(ServiceElement):
                     },
                 )
             ]
+        self._allowed_five_tuples.add(five)
         return []

@@ -8,7 +8,11 @@ scenario behind ``python -m repro chaos`` and ``make chaos-smoke``.
 
 from repro.faults.injector import FaultInjector, FaultTargetError
 from repro.faults.plan import FaultPlan
-from repro.faults.scenarios import ChaosReport, run_chaos_scenario
+from repro.faults.scenarios import (
+    ChaosReport,
+    run_chaos_scenario,
+    run_compromised_switch_scenario,
+)
 
 __all__ = [
     "ChaosReport",
@@ -16,4 +20,5 @@ __all__ = [
     "FaultPlan",
     "FaultTargetError",
     "run_chaos_scenario",
+    "run_compromised_switch_scenario",
 ]

@@ -37,6 +37,7 @@ from repro.faults.plan import (
     ElementSlowReport,
     FaultPlan,
     LinkFlap,
+    SwitchCompromise,
     SwitchDisconnect,
 )
 from repro.openflow.channel import ChannelFaults
@@ -58,6 +59,15 @@ class FaultInjector:
         # element MAC: when the fault went in, when it was detected.
         self._injected_at: Dict[str, float] = {}
         self._detected_at: Dict[str, float] = {}
+        self._fault_kind: Dict[str, str] = {}  # element MAC -> fault kind
+        # Compromised-switch bookkeeping, keyed by dpid: conviction is
+        # a PATH_VIOLATION, recovery a quarantine-attributed failover.
+        self._switch_injected_at: Dict[int, float] = {}
+        self._switch_detected_at: Dict[int, float] = {}
+        # Raw sim-clock samples per fault kind, for the per-fault
+        # TTD/TTR table the chaos CLI renders.
+        self._ttd_samples: Dict[str, List[float]] = {}
+        self._ttr_samples: Dict[str, List[float]] = {}
         registry = net.controller.metrics
         self._injected = {
             kind: registry.counter(
@@ -67,7 +77,8 @@ class FaultInjector:
             for kind in (
                 "element-crash", "element-hang", "element-slow-report",
                 "element-restart", "switch-disconnect", "switch-reconnect",
-                "link-flap", "channel-chaos",
+                "link-flap", "channel-chaos", "switch-compromise",
+                "switch-restore",
             )
         }
         self._affected = registry.counter(
@@ -95,6 +106,16 @@ class FaultInjector:
         self._time_to_recover = registry.histogram(
             "recovery.time_to_recover_s",
             "Element crash until each affected session's failover",
+            clock=sim_clock,
+        )
+        self._acct_time_to_detect = registry.histogram(
+            "accountability.time_to_detect_s",
+            "Switch compromise until its PATH_VIOLATION conviction",
+            clock=sim_clock,
+        )
+        self._acct_time_to_recover = registry.histogram(
+            "accountability.time_to_recover_s",
+            "Switch compromise until each session's quarantine failover",
             clock=sim_clock,
         )
         net.controller.log.subscribe(self._on_event)
@@ -211,6 +232,13 @@ class FaultInjector:
                 if fault.until_s is not None:
                     sim.schedule_at(fault.until_s, self._clear_channels,
                                     channels, impairments)
+            elif isinstance(fault, SwitchCompromise):
+                switch = self._switch(fault.switch)
+                sim.schedule_at(fault.at_s, self._compromise_switch,
+                                switch, fault)
+                if fault.restore_at_s is not None:
+                    sim.schedule_at(fault.restore_at_s,
+                                    self._restore_switch, switch)
             else:  # pragma: no cover - plan builders prevent this
                 raise TypeError(f"unknown fault {fault!r}")
 
@@ -226,6 +254,7 @@ class FaultInjector:
     def _crash_element(self, element, restart_at_s: Optional[float]) -> None:
         element.fail()
         self._injected_at[element.mac] = self.net.sim.now
+        self._fault_kind[element.mac] = "element-crash"
         self._mark("element-crash", element=element.name)
         if restart_at_s is not None:
             self.net.sim.schedule_at(restart_at_s,
@@ -240,12 +269,14 @@ class FaultInjector:
     def _hang_element(self, element, duration_s: float) -> None:
         element.hang(duration_s)
         self._injected_at[element.mac] = self.net.sim.now
+        self._fault_kind[element.mac] = "element-hang"
         self._mark("element-hang", element=element.name,
                    duration_s=duration_s)
 
     def _slow_element(self, element, interval_s: float) -> None:
         element.set_report_interval(interval_s)
         self._injected_at.setdefault(element.mac, self.net.sim.now)
+        self._fault_kind.setdefault(element.mac, "element-slow-report")
         self._mark("element-slow-report", element=element.name,
                    interval_s=interval_s)
 
@@ -276,8 +307,22 @@ class FaultInjector:
             if channel.faults is impairment:
                 channel.inject_faults(None)
 
+    def _compromise_switch(self, switch, fault) -> None:
+        switch.compromise(fault.variant, port=fault.port)
+        self._switch_injected_at[switch.dpid] = self.net.sim.now
+        self._mark("switch-compromise", dpid=switch.dpid,
+                   variant=fault.variant)
+
+    def _restore_switch(self, switch) -> None:
+        switch.restore_integrity()
+        self._mark("switch-restore", dpid=switch.dpid)
+
     # ------------------------------------------------------------------
     # Recovery scoring (event-log subscriber)
+
+    def _sample(self, table: Dict[str, List[float]],
+                kind: str, value: float) -> None:
+        table.setdefault(kind, []).append(value)
 
     def _on_event(self, event: NetworkEvent) -> None:
         if event.kind == EventKind.ELEMENT_OFFLINE:
@@ -287,6 +332,11 @@ class FaultInjector:
                 return
             self._detected_at[mac] = event.time
             self._time_to_detect.observe(event.time - injected)
+            self._sample(
+                self._ttd_samples,
+                self._fault_kind.get(mac, "element-crash"),
+                event.time - injected,
+            )
             controller = self.net.controller
             at_risk = [
                 session
@@ -303,9 +353,63 @@ class FaultInjector:
             injected = self._injected_at.get(dead)
             if injected is not None:
                 self._time_to_recover.observe(event.time - injected)
+                self._sample(
+                    self._ttr_samples,
+                    self._fault_kind.get(dead, "element-crash"),
+                    event.time - injected,
+                )
+            # A quarantine-attributed failover recovers a session off a
+            # compromised switch: score it against that injection.
+            cause = event.data.get("cause", "")
+            if isinstance(cause, str) and cause.startswith("quarantine"):
+                record = self.net.controller.nib.host_by_mac(dead)
+                since = (
+                    self._switch_injected_at.get(record.dpid)
+                    if record is not None else None
+                )
+                if since is not None:
+                    self._acct_time_to_recover.observe(event.time - since)
+                    self._sample(self._ttr_samples, "switch-compromise",
+                                 event.time - since)
+        elif event.kind == EventKind.PATH_VIOLATION:
+            dpid = event.data.get("dpid")
+            injected = self._switch_injected_at.get(dpid)
+            if injected is None or dpid in self._switch_detected_at:
+                return
+            self._switch_detected_at[dpid] = event.time
+            self._acct_time_to_detect.observe(event.time - injected)
+            self._sample(self._ttd_samples, "switch-compromise",
+                         event.time - injected)
 
     # ------------------------------------------------------------------
     # Results
+
+    @staticmethod
+    def _stats(samples: List[float]) -> dict:
+        return {
+            "count": len(samples),
+            "min": min(samples),
+            "mean": sum(samples) / len(samples),
+            "max": max(samples),
+        }
+
+    def per_fault_latency(self) -> dict:
+        """Per-fault-kind detection/recovery latency samples (the
+        TTD/TTR table the chaos CLI renders)."""
+        kinds = sorted(set(self._ttd_samples) | set(self._ttr_samples))
+        table = {}
+        for kind in kinds:
+            row = {}
+            if self._ttd_samples.get(kind):
+                row["time_to_detect_s"] = self._stats(
+                    self._ttd_samples[kind]
+                )
+            if self._ttr_samples.get(kind):
+                row["time_to_recover_s"] = self._stats(
+                    self._ttr_samples[kind]
+                )
+            table[kind] = row
+        return table
 
     def summary(self) -> dict:
         """Injection and recovery totals (the chaos verdict)."""
@@ -325,4 +429,5 @@ class FaultInjector:
             "blocked_sessions": int(self._outcomes["fail-closed"].value),
             "torn_down_sessions": int(self._outcomes["torn-down"].value),
             "unrecovered_sessions": max(0, affected - resolved),
+            "per_fault": self.per_fault_latency(),
         }

@@ -22,12 +22,18 @@ fabric):
 * ``link_flap`` -- a physical link goes down and comes back.
 * ``channel_chaos`` -- the secure channel starts dropping / delaying /
   duplicating individual OpenFlow messages, driven by a seeded RNG.
+* ``switch_compromise`` -- the data plane itself turns adversarial:
+  the switch skips its waypoint, misroutes tagged frames out a chosen
+  port, or strips path tags (the SDNsec threat model); only the
+  forwarding-accountability proofs can convict it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
+
+from repro.openflow.switch import COMPROMISE_VARIANTS
 
 VALID_DIRECTIONS = ("to_switch", "to_controller")
 
@@ -91,6 +97,17 @@ class ChannelChaos:
     directions: Tuple[str, ...] = VALID_DIRECTIONS
 
     kind = "channel-chaos"
+
+
+@dataclass(frozen=True)
+class SwitchCompromise:
+    at_s: float
+    switch: str  # switch name
+    variant: str = "skip-waypoint"
+    port: Optional[int] = None  # misroute: divert tagged frames here
+    restore_at_s: Optional[float] = None  # firmware reflash / replacement
+
+    kind = "switch-compromise"
 
 
 @dataclass
@@ -178,6 +195,25 @@ class FaultPlan:
         return self._add(ChannelChaos(
             at_s, switch, drop_rate, duplicate_rate, extra_delay_s,
             until_s, tuple(directions),
+        ))
+
+    def switch_compromise(
+        self, at_s: float, switch: str,
+        variant: str = "skip-waypoint",
+        port: Optional[int] = None,
+        restore_at_s: Optional[float] = None,
+    ) -> "FaultPlan":
+        if variant not in COMPROMISE_VARIANTS:
+            raise ValueError(
+                f"unknown compromise variant {variant!r};"
+                f" choose from {COMPROMISE_VARIANTS}"
+            )
+        if variant == "misroute" and port is None:
+            raise ValueError("misroute needs the divert port")
+        if restore_at_s is not None and restore_at_s <= at_s:
+            raise ValueError("restore must come after the compromise")
+        return self._add(SwitchCompromise(
+            at_s, switch, variant, port, restore_at_s
         ))
 
     def __len__(self) -> int:

@@ -52,6 +52,13 @@ class ChaosReport:
     events: int
     event_digest: str
     event_lines: List[str] = field(default_factory=list, repr=False)
+    # Per-fault-kind TTD/TTR latency samples (min/mean/max/count).
+    per_fault: Dict[str, dict] = field(default_factory=dict)
+    # Compromised-switch runs: the variant, the datapaths convicted and
+    # quarantined, and how many path violations were raised.
+    variant: Optional[str] = None
+    quarantined_dpids: List[int] = field(default_factory=list)
+    path_violations: int = 0
 
     def to_dict(self) -> dict:
         data = {
@@ -63,9 +70,13 @@ class ChaosReport:
                 "torn_down_sessions", "unrecovered_sessions",
                 "time_to_detect_s", "time_to_recover_s",
                 "install_retries", "install_failures",
-                "events", "event_digest",
+                "events", "event_digest", "per_fault",
             )
         }
+        if self.variant is not None:
+            data["variant"] = self.variant
+            data["quarantined_dpids"] = self.quarantined_dpids
+            data["path_violations"] = self.path_violations
         return data
 
     def render_text(self) -> str:
@@ -94,6 +105,26 @@ class ChaosReport:
                 f" max={self.time_to_recover_s['max']:.3f}s"
                 f" (n={self.time_to_recover_s['count']:g})"
             )
+        if self.variant is not None:
+            lines.append(
+                f"  accountability  : variant={self.variant}"
+                f" violations={self.path_violations}"
+                f" quarantined={self.quarantined_dpids}"
+            )
+        if self.per_fault:
+            lines.append("  per-fault latency (sim seconds):")
+            lines.append(
+                "    {:<22} {:>24} {:>24}".format(
+                    "fault", "time-to-detect", "time-to-recover"
+                )
+            )
+            for kind in sorted(self.per_fault):
+                row = self.per_fault[kind]
+                lines.append("    {:<22} {:>24} {:>24}".format(
+                    kind,
+                    _stats_cell(row.get("time_to_detect_s")),
+                    _stats_cell(row.get("time_to_recover_s")),
+                ))
         lines.append(
             f"  installs        : retries={self.install_retries}"
             f" failures={self.install_failures}"
@@ -103,6 +134,15 @@ class ChaosReport:
             f" digest {self.event_digest[:16]}"
         )
         return "\n".join(lines)
+
+
+def _stats_cell(stats: Optional[dict]) -> str:
+    if not stats:
+        return "-"
+    return (
+        f"mean={stats['mean']:.3f} max={stats['max']:.3f}"
+        f" (n={stats['count']})"
+    )
 
 
 def _hist_summary(snapshot, name: str) -> Dict[str, float]:
@@ -217,4 +257,123 @@ def run_chaos_scenario(
         events=len(event_lines),
         event_digest=digest,
         event_lines=event_lines,
+        per_fault=summary["per_fault"],
+    )
+
+
+COMPROMISE_AT_S = 5.0
+
+
+def _core_uplink_port(topology, switch) -> int:
+    """The switch's port into the legacy core (misroute divert target)."""
+    for number in sorted(switch.ports):
+        port = switch.ports[number]
+        if port.link is None:
+            continue
+        peer = port.peer()
+        if peer is not None and any(
+            peer.node is legacy for legacy in topology.legacy
+        ):
+            return number
+    raise ValueError(f"{switch.name} has no core uplink")
+
+
+def run_compromised_switch_scenario(
+    seed: int = 0,
+    variant: str = "skip-waypoint",
+    duration_s: float = 12.0,
+    num_elements: int = 3,
+    record_jsonl: Optional[str] = None,
+) -> ChaosReport:
+    """A compromised data plane under forwarding accountability.
+
+    The deployment is the standard steered linear network with
+    accountability enabled: every session's forward path carries an
+    SDNsec-style proof chain.  At t=5s the middle AS switch -- host to
+    the fleet's second IDS, but none of the traffic sources -- turns
+    adversarial in one of three ways:
+
+    * ``skip-waypoint``: it bypasses its local element (inspection
+      evasion) -- caught by the egress proof, whose mark chain is one
+      stamp short exactly at the compromised dpid;
+    * ``misroute``: it diverts tagged frames out its core uplink --
+      caught when the off-path frame punts at another switch still
+      carrying its tag;
+    * ``tag-strip``: it strips proof state entirely -- caught by the
+      absence audit when its sessions' proofs go silent while paths
+      avoiding the switch stay healthy.
+
+    Detection raises PATH_VIOLATION, quarantines the dpid, and the
+    controller re-steers the affected sessions onto replicas homed on
+    honest switches; the per-fault TTD/TTR table scores the loop.
+    """
+    net = build_livesec_network(
+        topology="linear",
+        policies=chaos_policy_table("open"),
+        elements=[("ids", num_elements)],
+        num_as=3,
+        hosts_per_as=2,
+        element_timeout_s=1.5,
+        dispatcher="polling",
+        accountability=True,
+    )
+    compromised = net.topology.as_switches[1]
+    port = None
+    if variant == "misroute":
+        port = _core_uplink_port(net.topology, compromised)
+    plan = FaultPlan(seed=seed).switch_compromise(
+        COMPROMISE_AT_S, compromised.name, variant=variant, port=port,
+    )
+    injector = FaultInjector(net, plan)
+    injector.arm()
+    net.start()
+    # Traffic only from hosts *not* attached to the compromised switch:
+    # it sits on the inspection path purely as an element's home, so a
+    # conviction is attributable to forwarding misbehavior alone.
+    hosts = [
+        host for host in net.topology.hosts
+        if host is not net.topology.gateway
+        and not host.name.startswith("h2_")
+    ]
+    for host in hosts:
+        CbrUdpFlow(
+            net.sim, host, GATEWAY_IP,
+            rate_bps=2e6, duration_s=duration_s,
+        ).start()
+    net.run(duration_s)
+
+    summary = injector.summary()
+    snapshot = net.controller.metrics.snapshot()
+    counters = snapshot.counters()
+    event_lines = [str(event) for event in net.controller.log.all()]
+    digest = net.controller.log.digest()
+    if record_jsonl is not None:
+        net.controller.log.save(record_jsonl)
+    return ChaosReport(
+        seed=plan.seed,
+        fail_mode="open",
+        crash="compromise",
+        duration_s=duration_s,
+        injected=summary["injected"],
+        affected_sessions=summary["affected_sessions"],
+        recovered_sessions=summary["recovered_sessions"],
+        failed_open_sessions=summary["failed_open_sessions"],
+        blocked_sessions=summary["blocked_sessions"],
+        torn_down_sessions=summary["torn_down_sessions"],
+        unrecovered_sessions=summary["unrecovered_sessions"],
+        time_to_detect_s=_hist_summary(
+            snapshot, "accountability.time_to_detect_s"
+        ),
+        time_to_recover_s=_hist_summary(
+            snapshot, "accountability.time_to_recover_s"
+        ),
+        install_retries=int(counters.get("controller.install_retries", 0)),
+        install_failures=int(counters.get("controller.install_failures", 0)),
+        events=len(event_lines),
+        event_digest=digest,
+        event_lines=event_lines,
+        per_fault=summary["per_fault"],
+        variant=variant,
+        quarantined_dpids=sorted(net.controller.quarantined_dpids),
+        path_violations=int(counters.get("accountability.violations", 0)),
     )

@@ -172,6 +172,12 @@ class Ethernet:
     flow_id: Optional[int] = None
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     created_at: Optional[float] = None
+    # Forwarding-accountability tag (SDNsec-style): the ingress switch
+    # pushes a per-session path descriptor, every switch on the path
+    # appends a keyed mark, the egress strips it and reports the chain.
+    # ``None`` for untagged traffic; an immutable PathTag otherwise
+    # (stamping replaces the object, so clones may share it safely).
+    path_tag: Optional[object] = None
 
     def clone(self) -> "Ethernet":
         """Deep copy with a fresh packet id (used when flooding).
@@ -188,6 +194,7 @@ class Ethernet:
             size=self.size,
             flow_id=self.flow_id,
             created_at=self.created_at,
+            path_tag=self.path_tag,
         )
 
     @property

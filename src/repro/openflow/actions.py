@@ -63,3 +63,43 @@ class SetDlSrc(Action):
 
     def __str__(self) -> str:
         return f"set_dl_src:{self.mac}"
+
+
+@dataclass(frozen=True)
+class PushPathTag(Action):
+    """Attach a forwarding-accountability tag at the session's ingress.
+
+    The descriptor is the expected dpid sequence plus its keyed tag
+    (:mod:`repro.openflow.pathproof`).  The switch interprets this
+    action itself (like Output) because stamping needs the switch's
+    own secret; ``apply`` only attaches the empty tag.
+    """
+
+    descriptor: object  # pathproof.PathDescriptor
+
+    def apply(self, frame: Ethernet) -> None:
+        from repro.openflow.pathproof import PathTag
+
+        frame.path_tag = PathTag(descriptor=self.descriptor)
+
+    def __str__(self) -> str:
+        dpids = getattr(self.descriptor, "dpids", ())
+        return f"push_path_tag:{list(dpids)}"
+
+
+@dataclass(frozen=True)
+class PopPathTag(Action):
+    """Strip the accountability tag at the session's egress.
+
+    The switch special-cases this action: it removes the tag *and*
+    reports the accumulated mark chain to the controller in a
+    PathProofReport, which is what the accountability app verifies.
+    ``apply`` covers the degenerate no-switch case (tests applying
+    actions directly): it just strips.
+    """
+
+    def apply(self, frame: Ethernet) -> None:
+        frame.path_tag = None
+
+    def __str__(self) -> str:
+        return "pop_path_tag"

@@ -117,6 +117,8 @@ class ControllerBase:
             self.on_flow_stats(message)
         elif isinstance(message, msg.BarrierReply):
             self.on_barrier_reply(dpid, message.xid)
+        elif isinstance(message, msg.PathProofReport):
+            self.on_path_proof(message)
         elif isinstance(message, msg.EchoReply):
             pass
         else:
@@ -146,6 +148,9 @@ class ControllerBase:
     def on_barrier_reply(self, dpid: int, xid: int) -> None:
         """A BarrierReply arrived: every message sent before the
         matching BarrierRequest has been processed by the datapath."""
+
+    def on_path_proof(self, event: msg.PathProofReport) -> None:
+        """An egress switch reported a forwarding-accountability proof."""
 
     def on_link_discovered(self, link: DiscoveredLink) -> None:
         """A new logical link was learned from LLDP."""

@@ -84,6 +84,22 @@ class FlowStatsReply(Message):
 
 
 @dataclass
+class PathProofReport(Message):
+    """The egress switch's forwarding-accountability report.
+
+    Sent when a PopPathTag action strips a tagged frame: the session's
+    path descriptor plus the mark chain the frame actually accumulated
+    (:mod:`repro.openflow.pathproof`).  Vendor extension territory in
+    real OpenFlow 1.0; modelled as a first-class message here.
+    """
+
+    dpid: int
+    cookie: int
+    descriptor: object  # pathproof.PathDescriptor
+    marks: Tuple[int, ...] = ()
+
+
+@dataclass
 class EchoReply(Message):
     dpid: int
     payload: int = 0

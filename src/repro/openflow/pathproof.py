@@ -1,0 +1,161 @@
+"""SDNsec-style forwarding accountability primitives.
+
+The controller cannot see *how* the data plane actually forwarded a
+frame -- a compromised switch can skip its waypoint, misroute, or
+strip tags without any control-channel symptom.  Following SDNsec
+(PAPERS.md, "Forwarding Accountability for the SDN Data Plane") we
+make the path itself attestable:
+
+* the ingress switch pushes a per-session **path descriptor** -- the
+  expected datapath-id sequence (including waypoint switches, which
+  appear twice: once steering the frame *into* the element and once
+  forwarding it back *out*) plus a keyed tag over that sequence,
+* every switch that forwards the tagged frame appends a **path-proof
+  mark** -- a lightweight keyed checksum chained over the previous
+  mark, its own dpid and the session id,
+* the egress switch strips the tag and reports ``(descriptor, marks)``
+  to the controller, whose accountability app recomputes the expected
+  chain and attributes the first divergence to a dpid.
+
+Marks use ``zlib.crc32`` keyed with a per-switch secret derived from
+the deployment secret: deterministic (part of the chaos digest
+contract), cheap on the per-packet path, and honest about its role --
+this is a *simulation* of a MAC chain, not cryptography.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+# The same default the controller composition root uses; bare switches
+# and controllers built without an explicit deployment secret therefore
+# agree on every per-switch key out of the box.
+DEFAULT_SECRET = "livesec-deployment-secret"
+
+
+def derive_switch_secret(secret: str, dpid: int) -> int:
+    """The per-switch stamping key, derived from the deployment secret."""
+    return zlib.crc32(f"{secret}|switch|{dpid}".encode())
+
+
+def _mark(switch_secret: int, session_id: int, prev_mark: int, dpid: int) -> int:
+    """One chained path-proof mark."""
+    return zlib.crc32(
+        f"{switch_secret}|{session_id}|{prev_mark}|{dpid}".encode()
+    )
+
+
+def descriptor_tag(secret: str, session_id: int, dpids: Sequence[int]) -> int:
+    """The ingress-computed tag binding a session to its expected path."""
+    path = ",".join(str(dpid) for dpid in dpids)
+    return zlib.crc32(f"{secret}|descr|{session_id}|{path}".encode())
+
+
+@dataclass(frozen=True)
+class PathDescriptor:
+    """The expected forwarding path of one steered session.
+
+    ``dpids`` is the rule-traversal order: a waypoint's switch is
+    listed once per rule it applies (in, then out), so the proof chain
+    distinguishes "frame visited the switch" from "frame actually took
+    the detour through the element".
+    """
+
+    session_id: int
+    dpids: Tuple[int, ...]
+    tag: int
+
+    @classmethod
+    def for_path(
+        cls, secret: str, session_id: int, dpids: Sequence[int]
+    ) -> "PathDescriptor":
+        return cls(
+            session_id=session_id,
+            dpids=tuple(dpids),
+            tag=descriptor_tag(secret, session_id, tuple(dpids)),
+        )
+
+
+@dataclass(frozen=True)
+class PathTag:
+    """What a tagged frame carries: the descriptor plus the marks
+    accumulated so far.  Immutable -- stamping returns a new tag, so a
+    cloned frame sharing the object can never see a peer's marks."""
+
+    descriptor: PathDescriptor
+    marks: Tuple[int, ...] = ()
+
+    def stamped(self, switch_secret: int, dpid: int) -> "PathTag":
+        prev = self.marks[-1] if self.marks else self.descriptor.tag
+        mark = _mark(switch_secret, self.descriptor.session_id, prev, dpid)
+        return replace(self, marks=self.marks + (mark,))
+
+
+def expected_marks(
+    secret: str, descriptor: PathDescriptor
+) -> Tuple[int, ...]:
+    """The mark chain an honest data plane would produce."""
+    marks = []
+    prev = descriptor.tag
+    for dpid in descriptor.dpids:
+        mark = _mark(
+            derive_switch_secret(secret, dpid),
+            descriptor.session_id, prev, dpid,
+        )
+        marks.append(mark)
+        prev = mark
+    return tuple(marks)
+
+
+@dataclass(frozen=True)
+class ProofVerdict:
+    """The outcome of verifying one egress proof."""
+
+    valid: bool
+    # Index into descriptor.dpids where the chain first diverged, and
+    # the dpid expected to have stamped there (the accused switch).
+    break_index: Optional[int] = None
+    offending_dpid: Optional[int] = None
+    reason: str = "ok"
+
+
+def verify_proof(
+    secret: str, descriptor: PathDescriptor, marks: Sequence[int]
+) -> ProofVerdict:
+    """Recompute the expected chain and attribute the first divergence.
+
+    A switch that skipped its waypoint, got bypassed, or stamped with
+    the wrong key breaks the chain at its own position; everything the
+    honest prefix vouches for stays attributable.
+    """
+    if descriptor.tag != descriptor_tag(
+        secret, descriptor.session_id, descriptor.dpids
+    ):
+        return ProofVerdict(
+            valid=False, break_index=0,
+            offending_dpid=descriptor.dpids[0] if descriptor.dpids else None,
+            reason="descriptor-forged",
+        )
+    expected = expected_marks(secret, descriptor)
+    for index, want in enumerate(expected):
+        if index >= len(marks):
+            return ProofVerdict(
+                valid=False, break_index=index,
+                offending_dpid=descriptor.dpids[index],
+                reason="chain-truncated",
+            )
+        if marks[index] != want:
+            return ProofVerdict(
+                valid=False, break_index=index,
+                offending_dpid=descriptor.dpids[index],
+                reason="mark-mismatch",
+            )
+    if len(marks) > len(expected):
+        return ProofVerdict(
+            valid=False, break_index=len(expected),
+            offending_dpid=descriptor.dpids[-1] if descriptor.dpids else None,
+            reason="chain-overlong",
+        )
+    return ProofVerdict(valid=True)

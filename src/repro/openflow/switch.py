@@ -23,9 +23,20 @@ from typing import Optional, Tuple
 from repro.net.node import Node
 from repro.net.packet import Ethernet
 from repro.openflow import messages as msg
-from repro.openflow.actions import Action, CONTROLLER_PORT, FLOOD_PORT, Output
+from repro.openflow import pathproof
+from repro.openflow.actions import (
+    Action,
+    CONTROLLER_PORT,
+    FLOOD_PORT,
+    Output,
+    PopPathTag,
+)
 from repro.openflow.channel import SecureChannel
 from repro.openflow.flowtable import FlowEntry, FlowTable
+
+# "Compromised switch" misbehavior variants the fault harness injects
+# (None = honest).  See DESIGN §7 threat model.
+COMPROMISE_VARIANTS = ("skip-waypoint", "misroute", "tag-strip")
 
 DEFAULT_FORWARDING_DELAY_S = 25e-6
 EXPIRY_SWEEP_INTERVAL_S = 1.0
@@ -73,6 +84,19 @@ class OpenFlowSwitch(Node):
         self.packet_ins = 0
         self.packets_forwarded = 0
         self.packets_dropped = 0
+        # Forwarding accountability: the per-switch stamping key (the
+        # deployment overrides this when built with a non-default
+        # secret) and the injected-misbehavior state.
+        self.path_secret = pathproof.derive_switch_secret(
+            pathproof.DEFAULT_SECRET, dpid
+        )
+        self.compromised: Optional[str] = None
+        self.compromised_port: Optional[int] = None
+        self.path_marks_stamped = 0
+        self.path_proofs_sent = 0
+        self.waypoints_skipped = 0
+        self.frames_misrouted = 0
+        self.tags_stripped = 0
         self.metrics = None
         sim.every(
             EXPIRY_SWEEP_INTERVAL_S,
@@ -115,6 +139,26 @@ class OpenFlowSwitch(Node):
     # ------------------------------------------------------------------
     # Data plane
 
+    def compromise(self, variant: str, port: Optional[int] = None) -> None:
+        """Make this datapath misbehave (fault-harness hook).
+
+        ``skip-waypoint`` forwards tagged frames past a local service
+        element in one rule traversal; ``misroute`` outputs tagged
+        frames to ``port`` instead of the rule's port; ``tag-strip``
+        removes accountability tags and never stamps.
+        """
+        if variant not in COMPROMISE_VARIANTS:
+            raise ValueError(
+                f"variant must be one of {COMPROMISE_VARIANTS} (got {variant})"
+            )
+        self.compromised = variant
+        self.compromised_port = port
+
+    def restore_integrity(self) -> None:
+        """Undo :meth:`compromise` (operator reimaged the switch)."""
+        self.compromised = None
+        self.compromised_port = None
+
     def receive(self, frame: Ethernet, in_port: int) -> None:
         entry = self.table.lookup(frame, in_port, self.sim.now)
         # Entries observed expired are evicted by the lookup itself, so
@@ -130,17 +174,60 @@ class OpenFlowSwitch(Node):
         if entry.is_drop:
             self.packets_dropped += 1
             return
+        actions = entry.actions
+        if (
+            self.compromised == "skip-waypoint"
+            and frame.path_tag is not None
+        ):
+            actions = self._skip_waypoint_actions(frame, actions)
         self.sim.schedule(
-            self.forwarding_delay_s, self._apply_actions, frame, in_port, entry.actions
+            self.forwarding_delay_s, self._apply_actions, frame, in_port, actions
         )
+
+    def _skip_waypoint_actions(
+        self, frame: Ethernet, actions: Tuple[Action, ...]
+    ) -> Tuple[Action, ...]:
+        """The skip-waypoint misbehavior: when the matched rule would
+        hand a tagged frame to a locally attached service element,
+        forward it straight through as if the element had already
+        returned it -- one rule traversal (and one path-proof stamp)
+        instead of two, which is exactly what breaks the mark chain at
+        this switch's position."""
+        element_port = None
+        for action in actions:
+            if isinstance(action, Output) and action.port > 0:
+                port = self.ports.get(action.port)
+                peer = port.peer() if port is not None else None
+                # Host-facing ports (hosts carry a MAC; switches don't)
+                # are where service elements hang off the datapath.
+                if peer is not None and getattr(peer.node, "mac", None):
+                    element_port = action.port
+                break
+        if element_port is None:
+            return actions
+        onward = self.table.lookup(frame, element_port, self.sim.now)
+        if onward is None or onward.is_drop or onward.actions == actions:
+            return actions
+        self.waypoints_skipped += 1
+        return onward.actions
 
     def _apply_actions(
         self, frame: Ethernet, in_port: int, actions: Tuple[Action, ...]
     ) -> None:
+        if self.compromised == "tag-strip" and frame.path_tag is not None:
+            frame.path_tag = None
+            self.tags_stripped += 1
         outputs = 0
+        stamped = False
         last_emit = _last_emitting_index(actions)
         for index, action in enumerate(actions):
             if isinstance(action, Output):
+                if frame.path_tag is not None and not stamped:
+                    frame.path_tag = frame.path_tag.stamped(
+                        self.path_secret, self.dpid
+                    )
+                    self.path_marks_stamped += 1
+                    stamped = True
                 # Only clone when the frame is emitted again later; the
                 # final emission may hand over the original (fast path).
                 emit = frame if index == last_emit else frame.clone()
@@ -149,8 +236,37 @@ class OpenFlowSwitch(Node):
                 elif action.port == FLOOD_PORT:
                     outputs += self.flood(emit, in_port)
                 else:
-                    if self.send(emit, action.port):
+                    out_port = action.port
+                    if (
+                        self.compromised == "misroute"
+                        and frame.path_tag is not None
+                        and self.compromised_port is not None
+                        and self.compromised_port != out_port
+                        and self.compromised_port in self.ports
+                    ):
+                        out_port = self.compromised_port
+                        self.frames_misrouted += 1
+                    if self.send(emit, out_port):
                         outputs += 1
+            elif isinstance(action, PopPathTag):
+                # Egress: stamp our own mark first, then strip the tag
+                # and report the accumulated chain for verification.
+                if frame.path_tag is not None and not stamped:
+                    frame.path_tag = frame.path_tag.stamped(
+                        self.path_secret, self.dpid
+                    )
+                    self.path_marks_stamped += 1
+                    stamped = True
+                tag = frame.path_tag
+                frame.path_tag = None
+                if tag is not None:
+                    self.path_proofs_sent += 1
+                    self._reply(msg.PathProofReport(
+                        dpid=self.dpid,
+                        cookie=tag.descriptor.session_id,
+                        descriptor=tag.descriptor,
+                        marks=tag.marks,
+                    ))
             else:
                 action.apply(frame)
         self.packets_forwarded += outputs

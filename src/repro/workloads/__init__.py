@@ -17,6 +17,7 @@ from repro.workloads.flows import (
     SshFlow,
     TrafficFlow,
     VirusDownloadFlow,
+    attach_udp_echo,
 )
 from repro.workloads.users import UserBehavior, UserChurn
 
@@ -31,4 +32,5 @@ __all__ = [
     "VirusDownloadFlow",
     "UserBehavior",
     "UserChurn",
+    "attach_udp_echo",
 ]

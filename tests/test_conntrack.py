@@ -1,0 +1,180 @@
+"""Unit tests for the stateful firewall's connection tracking
+(repro.core.conntrack): the five-tuple state machine, reply-direction
+promotion, replicated-update merging, idle expiry, and the replication
+group's delivery-time liveness check.
+"""
+
+from repro.core.conntrack import (
+    CLOSED,
+    ConnTrackReplicationGroup,
+    ConnTrackTable,
+    ConnTrackUpdate,
+    ESTABLISHED,
+    NEW,
+    reversed_five_tuple,
+)
+
+FORWARD = ("10.0.0.1", "10.0.0.9", 17, 20000, 9000)
+REVERSE = ("10.0.0.9", "10.0.0.1", 17, 9000, 20000)
+
+
+class TestStateMachine:
+    def test_first_packet_opens_new(self):
+        table = ConnTrackTable()
+        entry, update = table.observe(FORWARD, now=1.0, origin="fw-1")
+        assert entry.state == NEW
+        assert entry.packets == 1
+        assert update is not None and update.state == NEW
+        assert update.key == FORWARD
+
+    def test_same_direction_repeat_is_silent(self):
+        table = ConnTrackTable()
+        table.observe(FORWARD, now=1.0, origin="fw-1")
+        entry, update = table.observe(FORWARD, now=2.0, origin="fw-1")
+        assert update is None
+        assert entry.packets == 2
+        assert entry.last_seen == 2.0
+
+    def test_reply_direction_promotes_to_established(self):
+        table = ConnTrackTable()
+        table.observe(FORWARD, now=1.0, origin="fw-1")
+        entry, update = table.observe(REVERSE, now=1.5, origin="fw-1")
+        # The entry stays keyed by the initiator direction.
+        assert entry.key == FORWARD
+        assert entry.state == ESTABLISHED
+        assert update is not None and update.state == ESTABLISHED
+        assert table.established_total == 1
+        # Further reply traffic rides the same entry silently.
+        _, again = table.observe(REVERSE, now=2.0, origin="fw-1")
+        assert again is None
+
+    def test_lookup_matches_either_direction(self):
+        table = ConnTrackTable()
+        table.observe(FORWARD, now=1.0, origin="fw-1")
+        assert table.lookup(FORWARD) is table.lookup(REVERSE)
+        assert reversed_five_tuple(FORWARD) == REVERSE
+
+    def test_close_marks_closed_once(self):
+        table = ConnTrackTable()
+        table.observe(FORWARD, now=1.0, origin="fw-1")
+        update = table.close(REVERSE, now=2.0, origin="fw-1")
+        assert update is not None and update.state == CLOSED
+        assert update.key == FORWARD
+        assert table.close(FORWARD, now=3.0, origin="fw-1") is None
+        assert table.closed_total == 1
+
+    def test_close_unknown_tuple_is_noop(self):
+        table = ConnTrackTable()
+        assert table.close(FORWARD, now=1.0, origin="fw-1") is None
+
+
+class TestReplicatedMerge:
+    def test_update_creates_entry_on_cold_replica(self):
+        table = ConnTrackTable()
+        table.apply_update(
+            ConnTrackUpdate(FORWARD, ESTABLISHED, at=1.0, origin="fw-1"),
+            now=1.002,
+        )
+        entry = table.lookup(REVERSE)
+        assert entry is not None and entry.state == ESTABLISHED
+        assert table.established_total == 1
+
+    def test_state_only_moves_forward(self):
+        table = ConnTrackTable()
+        table.observe(FORWARD, now=1.0, origin="fw-1")
+        table.apply_update(
+            ConnTrackUpdate(FORWARD, ESTABLISHED, at=2.0, origin="fw-2"),
+            now=2.002,
+        )
+        assert table.lookup(FORWARD).state == ESTABLISHED
+        # A stale NEW replayed after ESTABLISHED must not demote.
+        table.apply_update(
+            ConnTrackUpdate(FORWARD, NEW, at=1.5, origin="fw-2"), now=2.004
+        )
+        assert table.lookup(FORWARD).state == ESTABLISHED
+
+    def test_update_refreshes_last_seen_monotonically(self):
+        table = ConnTrackTable()
+        table.observe(FORWARD, now=5.0, origin="fw-1")
+        table.apply_update(
+            ConnTrackUpdate(FORWARD, ESTABLISHED, at=1.0, origin="fw-2"),
+            now=3.0,
+        )
+        assert table.lookup(FORWARD).last_seen == 5.0
+
+
+class TestExpiry:
+    def test_idle_entries_expire(self):
+        table = ConnTrackTable(idle_timeout_s=10.0)
+        table.observe(FORWARD, now=0.0, origin="fw-1")
+        assert table.expire(now=9.0) == []
+        dropped = table.expire(now=11.0)
+        assert [e.key for e in dropped] == [FORWARD]
+        assert len(table) == 0
+        assert table.expired_total == 1
+
+    def test_closed_entries_expire_at_quarter_timeout(self):
+        table = ConnTrackTable(idle_timeout_s=10.0)
+        table.observe(FORWARD, now=0.0, origin="fw-1")
+        table.close(FORWARD, now=0.0, origin="fw-1")
+        assert [e.state for e in table.expire(now=3.0)] == [CLOSED]
+
+    def test_states_histogram(self):
+        table = ConnTrackTable()
+        table.observe(FORWARD, now=0.0, origin="fw-1")
+        other = ("10.0.0.2", "10.0.0.9", 17, 20001, 9000)
+        table.observe(other, now=0.0, origin="fw-1")
+        table.observe(reversed_five_tuple(other), now=0.5, origin="fw-1")
+        assert table.states() == {NEW: 1, ESTABLISHED: 1, CLOSED: 0}
+
+
+class FakeReplica:
+    def __init__(self):
+        self.failed = False
+        self.hung = False
+        self.applied = []
+
+    def apply_conntrack_update(self, update):
+        self.applied.append(update)
+
+
+class TestReplicationGroup:
+    def test_publish_fans_out_to_live_peers_after_delay(self, sim):
+        group = ConnTrackReplicationGroup(sim, replication_delay_s=2e-3)
+        origin, peer_a, peer_b = FakeReplica(), FakeReplica(), FakeReplica()
+        for member in (origin, peer_a, peer_b):
+            group.register(member)
+        update = ConnTrackUpdate(FORWARD, NEW, at=0.0, origin="fw-1")
+        group.publish(origin, update)
+        sim.run(until=1e-3)
+        assert peer_a.applied == []  # not before the replication delay
+        sim.run(until=5e-3)
+        assert peer_a.applied == [update]
+        assert peer_b.applied == [update]
+        assert origin.applied == []  # never echoed back to the origin
+        assert group.updates_published == 1
+        assert group.updates_delivered == 2
+
+    def test_failed_and_hung_peers_miss_delivery(self, sim):
+        group = ConnTrackReplicationGroup(sim)
+        origin, dead, hung = FakeReplica(), FakeReplica(), FakeReplica()
+        for member in (origin, dead, hung):
+            group.register(member)
+        dead.failed = True
+        hung.hung = True
+        group.publish(
+            origin, ConnTrackUpdate(FORWARD, NEW, at=0.0, origin="fw-1")
+        )
+        sim.run(until=0.1)
+        # The documented consistency gap: a replica down at delivery
+        # time simply misses the transition.
+        assert dead.applied == []
+        assert hung.applied == []
+        assert group.updates_delivered == 0
+
+    def test_register_is_idempotent(self, sim):
+        group = ConnTrackReplicationGroup(sim)
+        replica = FakeReplica()
+        group.register(replica)
+        group.register(replica)
+        assert group.members == [replica]

@@ -1,0 +1,119 @@
+"""Unit tests for the SDNsec-style path-proof primitives
+(repro.openflow.pathproof): descriptor binding, chained mark stamping,
+and divergence attribution in verify_proof.
+"""
+
+from repro.openflow.pathproof import (
+    PathDescriptor,
+    PathTag,
+    derive_switch_secret,
+    expected_marks,
+    verify_proof,
+)
+
+SECRET = "test-deployment-secret"
+# The standard steered shape on the linear fabric: ingress, the
+# waypoint switch twice (in, then out), egress.
+PATH = (1, 2, 2, 3)
+
+
+def descriptor(session_id=7, dpids=PATH):
+    return PathDescriptor.for_path(SECRET, session_id, dpids)
+
+
+def honest_marks(desc):
+    """Stamp the chain exactly as an honest data plane would."""
+    tag = PathTag(descriptor=desc)
+    for dpid in desc.dpids:
+        tag = tag.stamped(derive_switch_secret(SECRET, dpid), dpid)
+    return tag.marks
+
+
+class TestStamping:
+    def test_stamped_chain_matches_expected(self):
+        desc = descriptor()
+        assert honest_marks(desc) == expected_marks(SECRET, desc)
+
+    def test_stamping_is_immutable(self):
+        desc = descriptor()
+        tag = PathTag(descriptor=desc)
+        stamped = tag.stamped(derive_switch_secret(SECRET, 1), 1)
+        assert tag.marks == ()
+        assert len(stamped.marks) == 1
+
+    def test_marks_depend_on_session(self):
+        a = expected_marks(SECRET, descriptor(session_id=1))
+        b = expected_marks(SECRET, descriptor(session_id=2))
+        assert a != b
+
+    def test_waypoint_stamps_twice_distinctly(self):
+        # The chained previous-mark input makes the waypoint's two
+        # stamps differ even though key and dpid are identical.
+        marks = expected_marks(SECRET, descriptor())
+        assert marks[1] != marks[2]
+
+
+class TestVerify:
+    def test_honest_chain_is_valid(self):
+        desc = descriptor()
+        verdict = verify_proof(SECRET, desc, honest_marks(desc))
+        assert verdict.valid
+        assert verdict.reason == "ok"
+
+    def test_skipped_waypoint_convicts_the_waypoint_switch(self):
+        # The compromised switch stamps once instead of twice (it never
+        # took the detour through its element): the chain is one mark
+        # short and first diverges at the duplicate position.
+        desc = descriptor()
+        skipped = []
+        prev_tag = PathTag(descriptor=desc)
+        for dpid in (1, 2, 3):
+            prev_tag = prev_tag.stamped(
+                derive_switch_secret(SECRET, dpid), dpid
+            )
+        skipped = prev_tag.marks
+        verdict = verify_proof(SECRET, desc, skipped)
+        assert not verdict.valid
+        assert verdict.break_index == 2
+        assert verdict.offending_dpid == 2
+        assert verdict.reason == "mark-mismatch"
+
+    def test_truncated_chain_convicts_first_silent_switch(self):
+        desc = descriptor()
+        verdict = verify_proof(SECRET, desc, honest_marks(desc)[:2])
+        assert not verdict.valid
+        assert verdict.reason == "chain-truncated"
+        assert verdict.break_index == 2
+        assert verdict.offending_dpid == desc.dpids[2]
+
+    def test_wrong_key_convicts_the_stamper(self):
+        desc = descriptor()
+        tag = PathTag(descriptor=desc)
+        tag = tag.stamped(derive_switch_secret(SECRET, 1), 1)
+        tag = tag.stamped(derive_switch_secret("other-secret", 2), 2)
+        tag = tag.stamped(derive_switch_secret(SECRET, 2), 2)
+        tag = tag.stamped(derive_switch_secret(SECRET, 3), 3)
+        verdict = verify_proof(SECRET, desc, tag.marks)
+        assert not verdict.valid
+        assert verdict.break_index == 1
+        assert verdict.offending_dpid == 2
+
+    def test_overlong_chain_is_invalid(self):
+        desc = descriptor()
+        marks = honest_marks(desc) + (12345,)
+        verdict = verify_proof(SECRET, desc, marks)
+        assert not verdict.valid
+        assert verdict.reason == "chain-overlong"
+        assert verdict.offending_dpid == desc.dpids[-1]
+
+    def test_forged_descriptor_rejected_outright(self):
+        # A switch rewriting the expected path cannot mint the keyed
+        # tag; the proof is rejected before any mark is consulted.
+        desc = descriptor()
+        forged = PathDescriptor(
+            session_id=desc.session_id, dpids=(1, 3), tag=desc.tag
+        )
+        verdict = verify_proof(SECRET, forged, ())
+        assert not verdict.valid
+        assert verdict.reason == "descriptor-forged"
+        assert verdict.offending_dpid == 1

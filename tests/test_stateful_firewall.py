@@ -1,0 +1,197 @@
+"""Tests for the stateful distributed firewall: the reply-direction
+ACL fix on the stateless element (asymmetric ACL regression), the
+conntrack-backed fast path on StatefulFirewallElement, and the chaos
+acceptance shape -- session failover onto a replica that already holds
+the connection entries, with zero mid-session ACL re-evaluations,
+under a lossy+duplicating control channel.
+"""
+
+from repro.core.deployment import build_livesec_network
+from repro.core.conntrack import ESTABLISHED, NEW, five_tuple_of
+from repro.core.policy import (
+    FailMode,
+    FlowSelector,
+    Policy,
+    PolicyAction,
+    PolicyTable,
+)
+from repro.elements import FirewallElement, StatefulFirewallElement
+from repro.elements.firewall import AclRule
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.scenarios import GATEWAY_IP
+from repro.net import packet as pkt
+from repro.net.packet import extract_nine_tuple
+from repro.workloads import CbrUdpFlow, attach_udp_echo
+
+
+def udp_flow(src_ip, dst_ip, sport, dport):
+    frame = pkt.make_udp(
+        "00:00:00:00:00:01", "00:00:00:00:00:02",
+        src_ip, dst_ip, sport, dport, payload=b"x",
+    )
+    return frame, extract_nine_tuple(frame)
+
+
+class TestReplyDirectionRegression:
+    """Satellite: an asymmetric (default-deny, forward-only) ACL must
+    not drop the reply direction of a connection it admitted."""
+
+    def acl_firewall(self, sim):
+        return FirewallElement(
+            sim, "fw", "00:aa:00:00:00:01", "10.9.0.1",
+            acl=(AclRule(action="allow", src_ip_prefix="10.0.1.",
+                         dst_ip_prefix="10.0.2."),),
+            default_action="deny",
+        )
+
+    def test_reply_of_admitted_flow_not_denied(self, sim):
+        fw = self.acl_firewall(sim)
+        fwd_frame, fwd_flow = udp_flow("10.0.1.5", "10.0.2.7", 20000, 9000)
+        assert fw.inspect(fwd_frame, fwd_flow) == []
+        # The reply five-tuple matches no allow rule -- only the
+        # admitted-connection memory can let it through.
+        rev_frame, rev_flow = udp_flow("10.0.2.7", "10.0.1.5", 9000, 20000)
+        assert fw.evaluate(rev_flow) == "deny"
+        assert fw.inspect(rev_frame, rev_flow) == []
+        assert fw.denies == 0
+
+    def test_unrelated_flow_still_denied(self, sim):
+        fw = self.acl_firewall(sim)
+        frame, flow = udp_flow("10.0.3.1", "10.0.1.5", 9000, 20000)
+        verdicts = fw.inspect(frame, flow)
+        assert verdicts and verdicts[0].detail["verdict"] == "malicious"
+        assert fw.denies == 1
+
+
+class TestStatefulFastPath:
+    def test_reply_promotes_and_skips_acl(self, sim):
+        sfw = StatefulFirewallElement(
+            sim, "sfw-1", "00:aa:00:00:00:02", "10.9.0.2",
+        )
+        fwd_frame, fwd_flow = udp_flow("10.0.1.5", "10.0.2.7", 20000, 9000)
+        assert sfw.inspect(fwd_frame, fwd_flow) == []
+        assert sfw.acl_evaluations == 1
+        entry = sfw.conntrack.lookup(five_tuple_of(fwd_flow))
+        assert entry is not None and entry.state == NEW
+        rev_frame, rev_flow = udp_flow("10.0.2.7", "10.0.1.5", 9000, 20000)
+        assert sfw.inspect(rev_frame, rev_flow) == []
+        assert entry.state == ESTABLISHED
+        # The reply and every later packet ride conntrack, not the ACL.
+        assert sfw.acl_evaluations == 1
+        assert sfw.conntrack_hits == 1
+        assert sfw.inspect(fwd_frame, fwd_flow) == []
+        assert sfw.conntrack_hits == 2
+
+    def test_tcp_fin_closes_the_connection(self, sim):
+        sfw = StatefulFirewallElement(
+            sim, "sfw-1", "00:aa:00:00:00:02", "10.9.0.2",
+        )
+        syn = pkt.make_tcp(
+            "00:00:00:00:00:01", "00:00:00:00:00:02",
+            "10.0.1.5", "10.0.2.7", 20000, 80, flags="S",
+        )
+        sfw.inspect(syn, extract_nine_tuple(syn))
+        fin = pkt.make_tcp(
+            "00:00:00:00:00:02", "00:00:00:00:00:01",
+            "10.0.2.7", "10.0.1.5", 80, 20000, flags="FA",
+        )
+        sfw.inspect(fin, extract_nine_tuple(fin))
+        entry = sfw.conntrack.lookup(
+            five_tuple_of(extract_nine_tuple(syn))
+        )
+        assert entry.state == "CLOSED"
+
+
+def sfw_policy_table():
+    table = PolicyTable()
+    table.begin(source="test").add(Policy(
+        name="sfw-chain",
+        selector=FlowSelector(dst_ip=GATEWAY_IP),
+        action=PolicyAction.CHAIN,
+        service_chain=("sfw",),
+        fail_mode=FailMode("open"),
+    )).commit()
+    return table
+
+
+class TestStatefulFailoverUnderChaos:
+    """The acceptance shape: crash a stateful firewall mid-session
+    under a dropping+duplicating control channel; every session lands
+    on a replica that already holds its ESTABLISHED entries, and no
+    surviving firewall re-evaluates the ACL mid-session."""
+
+    def test_failover_preserves_established_state(self):
+        net = build_livesec_network(
+            topology="linear",
+            policies=sfw_policy_table(),
+            elements=[("sfw", 3)],
+            num_as=3,
+            hosts_per_as=2,
+            element_timeout_s=1.5,
+            dispatcher="polling",
+        )
+        victim = net.elements[0]
+        survivors = [e for e in net.elements if e is not victim]
+        plan = (FaultPlan(seed=3)
+                .element_crash(5.0, victim.name)
+                .channel_chaos(2.5, "*", drop_rate=0.1,
+                               duplicate_rate=0.1, until_s=11.0))
+        injector = FaultInjector(net, plan)
+        injector.arm()
+        net.start()
+        # Reply-direction traffic: the gateway echoes every datagram,
+        # which is what promotes the tracked connections past NEW.
+        attach_udp_echo(net.topology.gateway)
+        hosts = [h for h in net.topology.hosts
+                 if h is not net.topology.gateway]
+        for host in hosts[:4]:
+            CbrUdpFlow(net.sim, host, GATEWAY_IP,
+                       rate_bps=2e6, duration_s=10.0).start()
+
+        pre_crash = {}
+
+        def snapshot_pre_crash():
+            for element in net.elements:
+                pre_crash[element.name] = {
+                    "acl_evaluations": element.acl_evaluations,
+                    "conntrack_hits": element.conntrack_hits,
+                    "established": element.conntrack.states()[ESTABLISHED],
+                    "updates_applied": element.updates_applied,
+                }
+
+        net.sim.schedule(4.95 - net.sim.now, snapshot_pre_crash)
+        net.run(10.0)
+
+        summary = injector.summary()
+        assert summary["affected_sessions"] > 0
+        assert (summary["recovered_sessions"]
+                == summary["affected_sessions"])
+        assert summary["unrecovered_sessions"] == 0
+
+        # Before the crash: the victim's connections were promoted to
+        # ESTABLISHED by the echo replies, and replication had already
+        # handed copies to every peer.
+        assert pre_crash[victim.name]["established"] > 0
+        for element in survivors:
+            assert pre_crash[element.name]["updates_applied"] > 0
+            assert pre_crash[element.name]["established"] > 0
+
+        # After failover: the survivors carried the victim's sessions
+        # on the conntrack fast path -- zero ACL re-evaluations
+        # anywhere, while conntrack hits kept climbing.
+        for element in survivors:
+            before = pre_crash[element.name]
+            assert element.acl_evaluations == before["acl_evaluations"], (
+                f"{element.name} re-evaluated its ACL mid-session"
+            )
+            assert element.conntrack_hits > before["conntrack_hits"]
+
+    def test_replication_counters_surface_in_stats(self, sim):
+        sfw = StatefulFirewallElement(
+            sim, "sfw-1", "00:aa:00:00:00:03", "10.9.0.3",
+        )
+        data = sfw.stats()
+        assert data["conntrack_entries"] == 0
+        assert data["acl_evaluations"] == 0
+        assert data["conntrack_hits"] == 0
+        assert data["updates_applied"] == 0
