@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-smoke lint stats-smoke chaos-smoke \
 	chaos-determinism accountability-smoke replay-smoke policy-smoke \
-	examples all
+	shard-smoke examples all
 
 install:
 	python setup.py develop
@@ -13,12 +13,15 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
-# Seconds-scale microbenches of the two scan-vs-index hot paths; each
-# exits non-zero unless the indexed/checkpointed path beats its linear
-# reference oracle.  Writes BENCH_flowtable.json + BENCH_eventlog.json.
+# Seconds-scale microbenches of the scan-vs-index hot paths and the
+# shard fabric's scaling curve; each exits non-zero unless the new
+# path beats its reference (indexed vs linear oracle; >=3x aggregate
+# sessions/sec at 8 shards vs 1).  Writes BENCH_flowtable.json +
+# BENCH_eventlog.json + BENCH_shard_scaling.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_flowtable.py
 	PYTHONPATH=src python benchmarks/bench_eventlog.py
+	PYTHONPATH=src python benchmarks/bench_shard_scaling.py
 
 # ruff when available; otherwise a full-tree syntax check plus the
 # stdlib-only unused-import checker (the part of ruff we rely on).
@@ -40,7 +43,9 @@ chaos-smoke:
 	PYTHONPATH=src python -m repro chaos --seed 0 --assert-recovered
 
 # The same seeded chaos run twice; the event-log digests must match
-# exactly or the simulation is no longer deterministic.
+# exactly or the simulation is no longer deterministic.  The sharded
+# variant repeats the check on a 4-shard control plane, where the
+# digest folds every shard's log plus the coordinator's.
 chaos-determinism:
 	@PYTHONPATH=src python -m repro chaos --seed 0 | tee /tmp/chaos-a.txt
 	@PYTHONPATH=src python -m repro chaos --seed 0 | tee /tmp/chaos-b.txt
@@ -50,6 +55,17 @@ chaos-determinism:
 		echo "chaos digest mismatch: '$$a' vs '$$b'"; exit 1; \
 	else \
 		echo "chaos determinism OK ($$a)"; \
+	fi
+	@PYTHONPATH=src python -m repro chaos --seed 0 --shards 4 \
+		| tee /tmp/chaos-shards-a.txt
+	@PYTHONPATH=src python -m repro chaos --seed 0 --shards 4 \
+		| tee /tmp/chaos-shards-b.txt
+	@a=$$(grep -o 'digest [0-9a-f]*' /tmp/chaos-shards-a.txt); \
+	b=$$(grep -o 'digest [0-9a-f]*' /tmp/chaos-shards-b.txt); \
+	if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+		echo "sharded chaos digest mismatch: '$$a' vs '$$b'"; exit 1; \
+	else \
+		echo "sharded chaos determinism OK ($$a)"; \
 	fi
 
 # Seeded compromised-switch scenario under forwarding accountability:
@@ -72,6 +88,20 @@ accountability-smoke:
 	fi
 	@grep -q 'quarantined=\[2\]' /tmp/acct-a.txt || \
 		{ echo "compromised dpid 2 was not quarantined"; exit 1; }
+
+# The shard fabric end to end: boot a 4-shard control plane, then the
+# seeded shard-failover scenario -- a cross-pod roam must hand its
+# established session off intact, and killing a shard must re-home its
+# switches onto the survivors with the crashed pod's flows still
+# delivering bytes afterwards.
+shard-smoke:
+	PYTHONPATH=src python -m repro shards --shards 4
+	@PYTHONPATH=src python -m repro chaos --scenario shard-failover \
+		--seed 0 --assert-rehomed | tee /tmp/shard-smoke.txt
+	@grep -q 'roam-survived=True' /tmp/shard-smoke.txt || \
+		{ echo "cross-pod handoff dropped the session"; exit 1; }
+	@grep -q 'flows-after-crash=2/2' /tmp/shard-smoke.txt || \
+		{ echo "sessions did not survive the shard crash"; exit 1; }
 
 # Record a seeded scenario's event log to JSONL, replay it from disk,
 # and require the replayed digest to match the live run's exactly.

@@ -19,6 +19,8 @@ without writing a script:
                      run from a JSONL event-log file,
 * ``scale``       -- build the paper-scale FIT deployment and print the
                      controller's view of it,
+* ``shards``      -- boot an N-shard control plane and print the
+                     coordinator's fabric status,
 * ``apps``        -- list the controller's loaded apps with their bus
                      subscriptions and per-app event counters,
 * ``policy``      -- compile/verify a policy intent file (``check``) or
@@ -237,12 +239,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import (
         run_chaos_scenario,
         run_compromised_switch_scenario,
+        run_shard_failover_scenario,
     )
 
     if args.scenario == "compromised-switch":
         report = run_compromised_switch_scenario(
             seed=args.seed,
             variant=args.variant,
+            duration_s=args.duration,
+            record_jsonl=args.record,
+        )
+    elif args.scenario == "shard-failover":
+        report = run_shard_failover_scenario(
+            seed=args.seed,
             duration_s=args.duration,
             record_jsonl=args.record,
         )
@@ -254,6 +263,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             channel_drop_rate=args.channel_drop_rate,
             record_jsonl=args.record,
+            shards=args.shards,
         )
     if args.format == "json":
         import json
@@ -272,6 +282,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print("FAIL: compromised switch was never detected/quarantined",
               file=sys.stderr)
         return 1
+    if args.assert_rehomed:
+        if report.rehomed_switches == 0:
+            print("FAIL: no switch was re-homed off the dead shard",
+                  file=sys.stderr)
+            return 1
+        if report.roam_survived is False:
+            print("FAIL: the roamed session did not survive its handoff",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -422,6 +441,60 @@ def cmd_policy_reload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shards(args: argparse.Namespace) -> int:
+    """Boot a sharded control plane, run a little traffic, and print
+    the coordinator's fabric view: ownership, liveness, per-shard NIB
+    digests, and the inter-shard protocol counters."""
+    from repro.core.deployment import build_sharded_network
+    from repro.workloads import CbrUdpFlow
+
+    if args.topology == "fattree":
+        topology_kwargs = {"k": 4, "hosts_per_edge": 1}
+    else:
+        topology_kwargs = {
+            "num_as": max(3, args.shards), "hosts_per_as": 1,
+        }
+    net = build_sharded_network(
+        num_shards=args.shards,
+        topology=args.topology,
+        policies=_ids_policies,
+        elements=[("ids", args.shards)],
+        **topology_kwargs,
+    )
+    net.start()
+    hosts = [h for h in net.topology.hosts if h is not net.topology.gateway]
+    flows = [
+        CbrUdpFlow(net.sim, host, GATEWAY_IP, rate_bps=2e6,
+                   duration_s=args.seconds).start()
+        for host in hosts
+    ]
+    net.run(args.seconds + 0.5)
+    for flow in flows:
+        flow.stop()
+    status = net.status()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(status, indent=2, default=list))
+        return 0
+    print(f"shard fabric: {status['num_shards']} shard(s),"
+          f" topology={args.topology},"
+          f" federated elements={status['federated_elements']}")
+    for shard in status["shards"]:
+        live = "live" if shard["live"] else "DOWN"
+        digest = (shard["nib_digest"] or "-")[:12]
+        print(f"  shard {shard['shard']}: {live:<4}"
+              f" dpids={list(shard['dpids'])}"
+              f" hosts={shard['hosts']}"
+              f" sessions={shard['sessions']}"
+              f" nib={digest}")
+    print(f"  protocol: handoffs={status['handoff_sessions']}"
+          f" remote-rule-ops={status['remote_rule_ops']}"
+          f" rehomed-switches={status['rehomed_switches']}")
+    print(f"  combined digest: {net.event_digest()[:16]}")
+    return 0
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     net = build_livesec_network(
         topology="fit", policies=_ids_policies(),
@@ -499,10 +572,21 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="channel_drop_rate",
                        help="also drop this fraction of OpenFlow messages")
     chaos.add_argument("--scenario", default="element-crash",
-                       choices=["element-crash", "compromised-switch"],
+                       choices=["element-crash", "compromised-switch",
+                                "shard-failover"],
                        help="element-crash (default) kills service VMs;"
                             " compromised-switch turns the data plane"
-                            " adversarial under forwarding accountability")
+                            " adversarial under forwarding accountability;"
+                            " shard-failover roams a host across pods then"
+                            " kills a controller shard")
+    chaos.add_argument("--shards", type=int, default=1,
+                       help="run the element-crash scenario on a sharded"
+                            " control plane with this many shards")
+    chaos.add_argument("--assert-rehomed", action="store_true",
+                       dest="assert_rehomed",
+                       help="exit 1 unless a dead shard's switches re-homed"
+                            " and the roamed session survived its handoff"
+                            " (shard-failover scenario)")
     chaos.add_argument("--variant", default="skip-waypoint",
                        choices=["skip-waypoint", "misroute", "tag-strip"],
                        help="compromised-switch misbehavior variant")
@@ -536,6 +620,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     scale = sub.add_parser("scale", help="paper-scale FIT deployment")
     scale.set_defaults(func=cmd_scale)
+
+    shards = sub.add_parser(
+        "shards",
+        help="boot a sharded control plane and print the fabric status",
+    )
+    shards.add_argument("--shards", type=int, default=4,
+                        help="number of controller shards")
+    shards.add_argument("--topology", default="linear",
+                        choices=["linear", "fattree"],
+                        help="physical fabric (fattree partitions per-pod"
+                             " when shards == k)")
+    shards.add_argument("--seconds", type=float, default=2.0,
+                        help="simulated seconds of traffic before the"
+                             " status snapshot")
+    shards.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    shards.set_defaults(func=cmd_shards)
 
     apps = sub.add_parser(
         "apps",

@@ -126,6 +126,18 @@ class PolicyEngineApp(App):
                     continue
                 located.append(candidate)
             if not located:
+                # Federated fallback: borrow a waypoint homed to another
+                # shard (adopted into our NIB by the coordinator) only
+                # when no local element of the type survives -- keeping
+                # the common case O(local elements).
+                shard = self.ctx.controller.shard
+                if shard is not None:
+                    for candidate in shard.remote_candidates(service_type):
+                        record = self.ctx.nib.host_by_mac(candidate.mac)
+                        if record is None or record.dpid in quarantined:
+                            continue
+                        located.append(candidate)
+            if not located:
                 return None
             chosen = self.ctx.balancer.assign(
                 located, flow,

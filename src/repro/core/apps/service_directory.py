@@ -27,7 +27,7 @@ from repro.core.bus import (
 )
 from repro.core.events import EventKind
 from repro.core.nib import HostRecord
-from repro.core.services import CertificateError
+from repro.core.services import CertificateError, ServiceElementRecord
 from repro.core.sessions import Session
 
 REGISTRY_EXPIRY_INTERVAL_S = 1.0
@@ -218,6 +218,57 @@ class ServiceDirectoryApp(App):
         self.ctx.log.emit(
             self.ctx.sim.now, EventKind.ELEMENT_REJECTED, mac=mac, reason=reason
         )
+
+    # ------------------------------------------------------------------
+    # Shard federation
+
+    def directory_export(self) -> list:
+        """This shard's contribution to the federated directory: every
+        online element homed on a switch this shard currently owns,
+        with its NIB location and last reported load."""
+        rows = []
+        for mac in sorted(self.ctx.registry.elements):
+            record = self.ctx.registry.elements[mac]
+            if not record.online:
+                continue
+            host = self.ctx.nib.host_by_mac(mac)
+            if host is None or host.dpid not in self.ctx.controller.switches:
+                continue
+            rows.append({
+                "mac": mac,
+                "service_type": record.service_type,
+                "dpid": host.dpid,
+                "port": host.port,
+                "ip": host.ip,
+                "pps": record.pps,
+                "cpu": record.cpu,
+                "active_flows": record.active_flows,
+            })
+        return rows
+
+    def remote_element_down(self, mac: str) -> None:
+        """Fabric notification: an element this shard had borrowed as a
+        waypoint is gone from its origin's export.  Mirrors the local
+        expiry path so sessions steered through it fail over."""
+        host = self.ctx.nib.host_by_mac(mac)
+        if host is None or not host.is_element:
+            return
+        record = self.ctx.registry.get(mac)
+        if record is None:
+            record = ServiceElementRecord(
+                mac=mac, service_type="remote",
+                first_seen=self.ctx.sim.now, last_seen=self.ctx.sim.now,
+                online=False,
+            )
+        elif record.online:
+            record.online = False
+        self.ctx.nib.remove_host(mac)
+        self.ctx.balancer.forget_element(mac)
+        self.ctx.log.emit(
+            self.ctx.sim.now, EventKind.ELEMENT_OFFLINE, mac=mac,
+            service_type=record.service_type,
+        )
+        self.ctx.bus.publish(ElementExpired(record))
 
     # ------------------------------------------------------------------
     # Liveness expiry

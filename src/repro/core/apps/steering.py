@@ -27,6 +27,8 @@ from repro.core.bus import (
     LinkDiscovered,
     LinkTimedOut,
     PolicyReloaded,
+    RemoteRuleOpIn,
+    SessionHandoffIn,
     SourceBlockRequested,
     SwitchJoined,
     SwitchLeft,
@@ -93,6 +95,8 @@ class SteeringApp(App):
         self.listen(HostMoved, self.on_topology_changed)
         self.listen(PolicyReloaded, self.on_policy_reloaded)
         self.listen(SwitchQuarantined, self.on_switch_quarantined)
+        self.listen(SessionHandoffIn, self.on_session_handoff)
+        self.listen(RemoteRuleOpIn, self.on_remote_rule_op)
 
     def _setup_metrics(self) -> None:
         registry = self.ctx.metrics
@@ -197,6 +201,14 @@ class SteeringApp(App):
         src = host_tracker.learn_host(
             frame.src, flow.nw_src, packet_in.dpid, packet_in.in_port
         )
+        # Shard fabric: if this host's session state is still in flight
+        # from its previous owner shard, forming a fresh session now
+        # would collide with the adopted one.  Drop the packet; the
+        # transport retries after the (millisecond-scale) handoff.
+        shard = self.ctx.controller.shard
+        if shard is not None and shard.session_deferred(frame.src):
+            self.ctx.count("handoff_deferred")
+            return
         dst = self.ctx.nib.host_by_mac(frame.dst)
         if dst is None:
             # Destination location unknown: fall back to a periphery
@@ -326,7 +338,7 @@ class SteeringApp(App):
                 if rule is rules[0] and rule.dpid == packet_in.dpid
                 else None
             )
-            self.pipeline.install(rule, buffer_id=buffer_id)
+            self._install_rule(rule, buffer_id=buffer_id)
         self.ctx.count("flows_installed")
         self._flow_setup_rules_hist.observe(len(rules))
         self.ctx.log.emit(
@@ -341,6 +353,56 @@ class SteeringApp(App):
                 session=session.session_id,
                 elements=",".join(element_macs),
             )
+
+    # ==================================================================
+    # Rule routing: local pipeline vs. inter-shard fabric
+
+    def _install_rule(self, rule: RuleSpec, buffer_id=None) -> None:
+        """Install one flow entry, routing it over the shard fabric
+        when its datapath is homed to another shard."""
+        controller = self.ctx.controller
+        shard = controller.shard
+        if shard is not None and rule.dpid not in controller.switches:
+            if shard.install_remote(rule):
+                self.ctx.count("remote_rules_sent")
+            else:
+                self.ctx.count("remote_rules_dropped")
+            return
+        self.pipeline.install(rule, buffer_id=buffer_id)
+
+    def _delete_rule(self, rule: RuleSpec) -> None:
+        """Delete one flow entry, locally or over the shard fabric."""
+        controller = self.ctx.controller
+        if rule.dpid in controller.switches:
+            controller.send_flow_mod(
+                rule.dpid,
+                command=ofmsg.FlowMod.DELETE_STRICT,
+                match=rule.match,
+                priority=rule.priority,
+            )
+            return
+        shard = controller.shard
+        if shard is not None:
+            shard.remove_remote(rule)
+
+    def on_remote_rule_op(self, event: RemoteRuleOpIn) -> None:
+        """Apply a rule op another shard routed to us (we own its
+        datapath -- possibly freshly, through re-homing)."""
+        op = event.op
+        rule = op.rule
+        if rule.dpid not in self.ctx.controller.switches:
+            self.ctx.count("remote_rules_unowned")
+            return
+        if op.op == "add":
+            self.pipeline.install(rule)
+        else:
+            self.ctx.controller.send_flow_mod(
+                rule.dpid,
+                command=ofmsg.FlowMod.DELETE_STRICT,
+                match=rule.match,
+                priority=rule.priority,
+            )
+        self.ctx.count("remote_rules_applied")
 
     def _release_along_session(
         self, packet_in: ofmsg.PacketIn, session: Session
@@ -426,19 +488,12 @@ class SteeringApp(App):
         packets: int = 0,
         bytes_: int = 0,
     ) -> None:
-        controller = self.ctx.controller
         for rule in session.rules:
             if skip_rule is not None and (
                 rule.dpid == skip_rule[0] and rule.match == skip_rule[1]
             ):
                 continue
-            if rule.dpid in controller.switches:
-                controller.send_flow_mod(
-                    rule.dpid,
-                    command=ofmsg.FlowMod.DELETE_STRICT,
-                    match=rule.match,
-                    priority=rule.priority,
-                )
+            self._delete_rule(rule)
         self.ctx.balancer.release(session.flow)
         self.ctx.balancer.release(session.reverse_flow)
         self.ctx.sessions.end(session)
@@ -632,18 +687,99 @@ class SteeringApp(App):
         reused are deleted silently (only the ingress entry ever
         carries ``send_flow_removed``, and it is always reused: same
         flow, same ingress port, same priority)."""
-        controller = self.ctx.controller
         new_keys = {(r.dpid, r.match, r.priority) for r in new_rules}
         for rule in new_rules:
-            self.pipeline.install(rule)
+            self._install_rule(rule)
         for rule in session.rules:
             if (rule.dpid, rule.match, rule.priority) in new_keys:
                 continue
-            if rule.dpid in controller.switches:
-                controller.send_flow_mod(
-                    rule.dpid,
-                    command=ofmsg.FlowMod.DELETE_STRICT,
-                    match=rule.match,
-                    priority=rule.priority,
-                )
+            self._delete_rule(rule)
         session.rules = new_rules
+
+    # ==================================================================
+    # Session handoff (shard fabric)
+
+    def release_session_for_handoff(self, session: Session) -> None:
+        """Origin-shard half of a cross-shard host move: pull the
+        session's flow entries and balancer assignments, drop it from
+        the table -- but emit no FLOW_END and take no duration sample.
+        The session's identity continues on the destination shard."""
+        # Remove from the table first: the DELETE of the ingress entry
+        # raises a FlowRemoved carrying the session cookie, which must
+        # find nothing to tear down when it arrives.
+        self.ctx.sessions.end(session)
+        for rule in session.rules:
+            self._delete_rule(rule)
+        self.ctx.balancer.release(session.flow)
+        self.ctx.balancer.release(session.reverse_flow)
+        self.ctx.count("sessions_handed_off")
+
+    def on_session_handoff(self, event: SessionHandoffIn) -> None:
+        """Destination-shard half: re-form each transferred session
+        from the mover's new location, preserving its identity (id,
+        created_at, application) and re-resolving its waypoint chain
+        through our balancer so load accounting stays truthful."""
+        handoff = event.handoff
+        shard = self.ctx.controller.shard
+        engine = self.peer("policy-engine")
+        for record in handoff.records:
+            src = self.ctx.nib.host_by_mac(record.src_mac)
+            dst = self.ctx.nib.host_by_mac(record.dst_mac)
+            policy = (
+                self.ctx.policies.get(record.policy_name)
+                if record.policy_name else None
+            )
+            if src is None or dst is None:
+                self.ctx.count("handoff_dropped")
+                continue
+            if self.ctx.sessions.lookup(record.flow) is not None:
+                self.ctx.count("handoff_duplicate")
+                continue
+            waypoints: List[HostRecord] = []
+            element_macs: Tuple[str, ...] = ()
+            if policy is not None and record.element_macs:
+                resolved = engine.resolve_chain(policy, record.flow, src)
+                if resolved is not None:
+                    chain, macs = resolved
+                    waypoints = chain
+                    element_macs = tuple(macs)
+                elif engine.effective_fail_mode(policy) is FailMode.CLOSED:
+                    session = self.ctx.sessions.create(
+                        flow=record.flow, src_mac=record.src_mac,
+                        dst_mac=record.dst_mac,
+                        policy_name=record.policy_name,
+                        element_macs=(), rules=[],
+                        now=record.created_at,
+                        session_id=record.session_id,
+                    )
+                    self._block_flow(
+                        record.flow, src, policy_name=record.policy_name,
+                        session=session,
+                    )
+                    continue
+            try:
+                rules, descriptor = self._compute_session_rules(
+                    record.flow, src, dst, waypoints, policy,
+                    record.session_id,
+                )
+            except RoutingError:
+                self.ctx.count("handoff_dropped")
+                continue
+            session = self.ctx.sessions.create(
+                flow=record.flow, src_mac=record.src_mac,
+                dst_mac=record.dst_mac, policy_name=record.policy_name,
+                element_macs=element_macs, rules=rules,
+                now=record.created_at, session_id=record.session_id,
+            )
+            session.application = record.application
+            session.path_descriptor = descriptor
+            for rule in rules:
+                self._install_rule(rule)
+            if shard is not None and record.conntrack:
+                shard.restore_conntrack(record.conntrack)
+            self.ctx.count("sessions_adopted")
+            self.ctx.log.emit(
+                self.ctx.sim.now, EventKind.SESSION_HANDOFF,
+                session=record.session_id, user_mac=record.src_mac,
+                from_shard=handoff.from_shard, elements=len(element_macs),
+            )

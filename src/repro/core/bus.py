@@ -55,6 +55,8 @@ __all__ = [
     "ConnTrackUpdateIn",
     "PathViolation",
     "SwitchQuarantined",
+    "SessionHandoffIn",
+    "RemoteRuleOpIn",
 ]
 
 
@@ -273,6 +275,25 @@ class SwitchQuarantined:
 
     dpid: int
     reason: str
+
+
+@dataclass(frozen=True, eq=False)
+class SessionHandoffIn:
+    """Another shard transferred a roaming host's sessions to this one
+    (carries the :class:`repro.core.sharding.SessionHandoff`).  Steering
+    adopts the records: re-resolve the path from the new location,
+    re-install ingress rules, preserve the session ids."""
+
+    handoff: object  # sharding.SessionHandoff
+
+
+@dataclass(frozen=True, eq=False)
+class RemoteRuleOpIn:
+    """Another shard asked this one -- the owner of the rule's
+    datapath -- to install or delete a flow rule (carries the
+    :class:`repro.core.sharding.RemoteRuleOp`)."""
+
+    op: object  # sharding.RemoteRuleOp
 
 
 # ======================================================================

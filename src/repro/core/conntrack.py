@@ -191,10 +191,13 @@ class ConnTrackReplicationGroup:
     The deployment registers every stateful firewall of one service
     type here; an element publishing a transition has it applied on
     each live peer ``replication_delay_s`` later on the simulator
-    clock.  Failed/hung peers are skipped at delivery time (they
-    re-sync nothing on restart -- documented consistency gap, see
-    DESIGN §7: a transition during a replica's outage is lost to it
-    until the connection's next transition).
+    clock.  Failed/hung peers are skipped at delivery time, but a
+    *restarting* replica calls :meth:`resync` to bulk-pull the fleet's
+    ESTABLISHED connections from a live peer before serving, so
+    crash-restart closes the old DESIGN §7 gap.  What remains of the
+    gap: transitions missed during a *hang* (the replica never
+    restarts, so it never re-syncs) are lost to it until the
+    connection's next transition.
     """
 
     def __init__(self, sim, replication_delay_s: float = DEFAULT_REPLICATION_DELAY_S):
@@ -203,6 +206,39 @@ class ConnTrackReplicationGroup:
         self.members: List[object] = []
         self.updates_published = 0
         self.updates_delivered = 0
+        self.resyncs = 0
+        self.entries_resynced = 0
+
+    def resync(self, member) -> int:
+        """Bulk state transfer for a replica coming back from a crash:
+        copy every ESTABLISHED entry from the first live peer (in
+        registration order, so same-seed runs pick the same donor)
+        into ``member``'s table.  Returns the number of entries
+        copied; 0 when no live peer remains (the restarted replica
+        then rebuilds state from traffic alone)."""
+        now = self.sim.now
+        for peer in self.members:
+            if peer is member:
+                continue
+            if getattr(peer, "failed", False) or getattr(peer, "hung", False):
+                continue
+            copied = 0
+            for entry in peer.conntrack:
+                if entry.state != ESTABLISHED:
+                    continue
+                member.conntrack.apply_update(
+                    ConnTrackUpdate(
+                        key=entry.key, state=entry.state,
+                        at=entry.created_at,
+                        origin=getattr(peer, "name", "peer"),
+                    ),
+                    now,
+                )
+                copied += 1
+            self.resyncs += 1
+            self.entries_resynced += copied
+            return copied
+        return 0
 
     def register(self, element) -> None:
         if element not in self.members:

@@ -162,6 +162,11 @@ class LiveSecController(ControllerBase):
         # egress reports, and existing deterministic digests predate it.
         self.accountability_enabled = accountability
         self.secret = secret
+        # The shard fabric hook: a ShardMember when this controller is
+        # one shard of a ShardedDeployment, None standalone.  Steering
+        # routes foreign-dpid rules and handoff deferrals through it;
+        # the policy engine borrows federated waypoint candidates.
+        self.shard = None
         # dpid -> quarantine reason.  A dict, not a set: iteration order
         # is insertion order (determinism) and the reason is useful to
         # the policy engine's logs.
@@ -277,6 +282,10 @@ class LiveSecController(ControllerBase):
     @property
     def _monitor(self) -> MonitorApp:
         return self._apps["monitor"]
+
+    @property
+    def _service_directory(self) -> ServiceDirectoryApp:
+        return self._apps["service-directory"]
 
     # ==================================================================
     # Observability

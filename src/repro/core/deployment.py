@@ -16,6 +16,14 @@ from repro.core.conntrack import ConnTrackReplicationGroup
 from repro.core.controller import LiveSecController
 from repro.core.policy import PolicyTable
 from repro.core.policy_io import load_policies
+from repro.core.sharding import (
+    SHARD_LIVENESS_TIMEOUT_S,
+    SYNC_INTERVAL_S,
+    ShardCoordinator,
+    ShardMap,
+    ShardMember,
+    combined_digest,
+)
 from repro.core.visualization import MonitoringComponent
 from repro.elements import ELEMENT_TYPES
 from repro.elements.base import ServiceElement
@@ -192,6 +200,184 @@ class LiveSecNetwork:
         return self.controller.metrics.snapshot()
 
 
+@dataclass
+class ShardedDeployment:
+    """N controller shards over one physical network.
+
+    The thin composition the shard fabric promises: every
+    :class:`~repro.core.sharding.ShardMember` wraps a full
+    ``LiveSecController`` (its own EventBus, apps, NIB, metrics, event
+    log); the only shared objects are the simulator, the physical
+    topology, and the :class:`~repro.core.sharding.ShardCoordinator`
+    running the inter-shard protocol.
+    """
+
+    sim: Simulator
+    topology: Topology
+    shard_map: ShardMap
+    coordinator: ShardCoordinator
+    members: List[ShardMember] = field(default_factory=list)
+    elements: List[ServiceElement] = field(default_factory=list)
+    channels: Dict[int, SecureChannel] = field(default_factory=dict)
+    # Conntrack replication is element-to-element and oblivious to
+    # control-plane partitioning: one group per service type fabric-wide.
+    conntrack_groups: Dict[str, ConnTrackReplicationGroup] = field(
+        default_factory=dict
+    )
+    started: bool = False
+
+    # ------------------------------------------------------------------
+    # Shard views
+
+    @property
+    def controllers(self) -> List[LiveSecController]:
+        return [member.controller for member in self.members]
+
+    @property
+    def controller(self) -> LiveSecController:
+        """Shard 0's controller, for tooling that expects one."""
+        return self.members[0].controller
+
+    @property
+    def metrics(self):
+        """The fabric-level registry (per-shard registries live on each
+        member's controller)."""
+        return self.coordinator.metrics
+
+    def member_of(self, dpid: int) -> ShardMember:
+        """The member currently owning a datapath (tracks re-homing)."""
+        member = self.coordinator.member(self.shard_map.owner(dpid))
+        if member is None:
+            raise KeyError(f"no shard member owns dpid {dpid}")
+        return member
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self, warmup_s: float = DEFAULT_WARMUP_S) -> None:
+        """Discovery warmup, then host bring-up -- every shard converges
+        on its own slice plus the cross-shard links its LLDP punts
+        reveal."""
+        if self.started:
+            raise RuntimeError("already started")
+        self.started = True
+        self.sim.run(until=self.sim.now + warmup_s)
+        for member in self.members:
+            member.controller.refresh_announcements()
+        for host in self.topology.hosts:
+            host.announce()
+        self.sim.run(until=self.sim.now + 0.5)
+
+    def run(self, duration_s: float) -> None:
+        self.sim.run(until=self.sim.now + duration_s)
+
+    # ------------------------------------------------------------------
+    # Element management
+
+    def add_element(
+        self,
+        element_type: str,
+        switch: OpenFlowSwitch,
+        name: Optional[str] = None,
+        **element_kwargs,
+    ) -> ServiceElement:
+        """Create, wire, and provision one element on its owner shard."""
+        try:
+            factory = ELEMENT_TYPES[element_type]
+        except KeyError:
+            raise ValueError(
+                f"unknown element type {element_type!r};"
+                f" choose from {sorted(ELEMENT_TYPES)}"
+            ) from None
+        owner = self.member_of(switch.dpid).controller
+        mac, ip = self.topology.allocator.host_addresses()
+        if name is None:
+            name = f"{element_type}-{len(self.elements) + 1}"
+        element = factory(self.sim, name, mac, ip, **element_kwargs)
+        switch_port = switch.next_free_port().number
+        connect(
+            self.sim, switch, element,
+            bandwidth_bps=ELEMENT_LINK_BPS,
+            delay_s=5e-6,
+            port_a=switch_port,
+            port_b=element.next_free_port().number,
+        )
+        element.provision(owner.registry.issue_certificate(mac))
+        if hasattr(element, "join_replication_group"):
+            group = self.conntrack_groups.get(element.service_type)
+            if group is None:
+                group = ConnTrackReplicationGroup(self.sim)
+                self.conntrack_groups[element.service_type] = group
+            element.join_replication_group(group)
+        self.elements.append(element)
+        self._register_capacity(switch, owner)
+        return element
+
+    def elements_of_type(self, element_type: str) -> List[ServiceElement]:
+        return [e for e in self.elements if e.service_type == element_type]
+
+    # ------------------------------------------------------------------
+    # Host/user management
+
+    def add_user(self, name: str, switch, wireless: bool = False,
+                 bandwidth_bps: float = 100e6) -> Host:
+        return self.topology.add_host(
+            name, switch, bandwidth_bps=bandwidth_bps, wireless=wireless
+        )
+
+    def host(self, name: str) -> Host:
+        return self.topology.host_by_name(name)
+
+    @property
+    def gateway(self) -> Host:
+        gw = self.topology.gateway
+        if gw is None:
+            raise RuntimeError("topology has no gateway")
+        return gw
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _connect_channels(self, control_latency_s: float) -> None:
+        from repro.openflow.pathproof import derive_switch_secret
+
+        for switch in self.topology.all_openflow_switches():
+            owner = self.member_of(switch.dpid).controller
+            channel = SecureChannel(
+                self.sim, switch, owner, latency_s=control_latency_s
+            )
+            channel.connect()
+            switch.path_secret = derive_switch_secret(
+                owner.secret, switch.dpid
+            )
+            self.channels[switch.dpid] = channel
+            switch.attach_metrics(owner.metrics)
+            self._register_capacity(switch, owner)
+
+    def _register_capacity(self, switch, controller=None) -> None:
+        if controller is None:
+            controller = self.member_of(switch.dpid).controller
+        for number, port in switch.ports.items():
+            if port.link is not None:
+                controller.register_port_capacity(
+                    switch.dpid, number, port.link.bandwidth_bps
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def status(self) -> dict:
+        return self.coordinator.status()
+
+    def event_digest(self) -> str:
+        """The determinism digest over every shard's log plus the
+        coordinator's."""
+        return combined_digest(self.members, self.coordinator)
+
+    def total_sessions_created(self) -> int:
+        return sum(c.sessions.created for c in self.controllers)
+
+
 _TOPOLOGY_BUILDERS = {
     "linear": linear,
     "star": star,
@@ -267,4 +453,129 @@ def build_livesec_network(
         for index in range(count):
             switch = topo.as_switches[index % len(topo.as_switches)]
             network.add_element(element_type, switch)
+    return network
+
+
+def build_sharded_network(
+    num_shards: int = 2,
+    topology: str = "linear",
+    policies=None,
+    policy_file: Optional[str] = None,
+    dispatcher: str = "minload",
+    elements: Sequence[Tuple[str, int]] = (),
+    control_latency_s: float = 0.5e-3,
+    idle_timeout_s: float = 5.0,
+    host_timeout_s: float = 120.0,
+    stats_interval_s: Optional[float] = 1.0,
+    on_no_element: str = "allow",
+    element_timeout_s: Optional[float] = None,
+    install_batching: bool = True,
+    event_retention: Optional[int] = None,
+    sync_interval_s: float = SYNC_INTERVAL_S,
+    liveness_timeout_s: float = SHARD_LIVENESS_TIMEOUT_S,
+    sim: Optional[Simulator] = None,
+    **topology_kwargs,
+) -> ShardedDeployment:
+    """Build (but do not start) a sharded LiveSec deployment.
+
+    ``topology`` is ``'linear' | 'star' | 'fit' | 'fattree'``; on the
+    fat-tree with ``num_shards == k`` the partition is per-pod,
+    everywhere else a balanced contiguous split of the dpid space.
+
+    ``policies`` must be a zero-argument *factory* (each shard needs
+    its own mutable table) unless ``num_shards == 1``; ``policy_file``
+    is loaded once per shard instead.  Elements are distributed
+    round-robin over the AS switches and provisioned by whichever
+    shard owns their switch.
+    """
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard (got {num_shards})")
+    if policy_file is not None and policies is not None:
+        raise ValueError("pass either policies or policy_file, not both")
+    if (policies is not None and not callable(policies)
+            and num_shards > 1):
+        raise ValueError(
+            "with num_shards > 1, pass policies as a factory callable:"
+            " each shard needs its own PolicyTable instance"
+        )
+    if sim is None:
+        sim = Simulator()
+    if topology == "fattree":
+        from repro.net.fattree import fat_tree_topology
+
+        topo = fat_tree_topology(sim, **topology_kwargs)
+        k = topology_kwargs.get("k", 4)
+        if num_shards == k:
+            shard_map = ShardMap.per_pod(k)
+        else:
+            shard_map = ShardMap.contiguous(
+                [s.dpid for s in topo.all_openflow_switches()], num_shards
+            )
+    else:
+        try:
+            builder = _TOPOLOGY_BUILDERS[topology]
+        except KeyError:
+            raise ValueError(
+                f"unknown topology {topology!r}; choose from"
+                f" {sorted(_TOPOLOGY_BUILDERS) + ['fattree']}"
+            ) from None
+        topo = builder(sim, **topology_kwargs)
+        shard_map = ShardMap.contiguous(
+            [s.dpid for s in topo.all_openflow_switches()], num_shards
+        )
+
+    coordinator = ShardCoordinator(
+        sim, shard_map,
+        sync_interval_s=sync_interval_s,
+        liveness_timeout_s=liveness_timeout_s,
+        control_latency_s=control_latency_s,
+    )
+    members: List[ShardMember] = []
+    for shard_id in range(num_shards):
+        if policies is None:
+            table = None
+        elif callable(policies):
+            table = policies()
+        else:
+            table = policies
+        if policy_file is not None:
+            table = load_policies(policy_file, verify=True)
+        controller = LiveSecController(
+            sim,
+            policies=table,
+            dispatcher=dispatcher,
+            idle_timeout_s=idle_timeout_s,
+            host_timeout_s=host_timeout_s,
+            stats_interval_s=stats_interval_s,
+            on_no_element=on_no_element,
+            element_timeout_s=element_timeout_s,
+            install_batching=install_batching,
+            event_retention=event_retention,
+        )
+        # Stride the id space so shard i of N mints ids i+1, i+1+N, ...
+        # -- globally unique without coordination, handoff-safe.
+        controller.sessions.reseed(shard_id + 1, num_shards)
+        members.append(ShardMember(shard_id, controller, coordinator))
+
+    network = ShardedDeployment(
+        sim=sim, topology=topo, shard_map=shard_map,
+        coordinator=coordinator, members=members,
+    )
+    network._connect_channels(control_latency_s)
+    coordinator.attach_physical(
+        switches={s.dpid: s for s in topo.all_openflow_switches()},
+        channels=network.channels,
+        register_capacity=network._register_capacity,
+    )
+    for element_type, count in elements:
+        for index in range(count):
+            switch = topo.as_switches[index % len(topo.as_switches)]
+            network.add_element(element_type, switch)
+    if topo.gateway is not None:
+        attachment = topo.attachments[topo.gateway.name]
+        coordinator.publish_host(
+            topo.gateway.mac, topo.gateway.ip,
+            attachment.switch.dpid, attachment.switch_port,
+        )
+    coordinator.start()
     return network

@@ -65,6 +65,10 @@ class EventKind:
     PATH_VIOLATION = "path-violation"
     SWITCH_QUARANTINED = "switch-quarantined"
     CONNTRACK_STATE = "conntrack-state"
+    SHARD_HELLO = "shard-hello"
+    SHARD_DOWN = "shard-down"
+    SHARD_REHOME = "shard-rehome"
+    SESSION_HANDOFF = "session-handoff"
 
 
 #: High-churn periodic samples: compaction may collapse them to the

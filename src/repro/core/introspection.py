@@ -28,6 +28,16 @@ LEGACY_COUNTER_NAMES = (
     "no_element_fallback",
     "routing_deferred",
     "conntrack_reports",
+    # Shard fabric (all zero in single-controller deployments).
+    "handoff_deferred",
+    "remote_rules_sent",
+    "remote_rules_dropped",
+    "remote_rules_unowned",
+    "remote_rules_applied",
+    "sessions_handed_off",
+    "sessions_adopted",
+    "handoff_dropped",
+    "handoff_duplicate",
 )
 
 

@@ -10,6 +10,7 @@ bidirectional ARP), plus the switch inventory.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -229,6 +230,34 @@ class NetworkInformationBase:
             for b in dpids
             if a != b
         )
+
+    # ------------------------------------------------------------------
+    # Replication digest (the shard fabric's NIB exchange unit)
+
+    def location_entries(
+        self, dpids: Optional[Iterable[int]] = None
+    ) -> List[Tuple[str, Optional[str], int, int, bool]]:
+        """The host-location rows as canonical sorted tuples, optionally
+        restricted to hosts homed on the given datapaths."""
+        wanted = None if dpids is None else set(dpids)
+        rows = [
+            (h.mac, h.ip, h.dpid, h.port, h.is_element)
+            for h in self.hosts.values()
+            if wanted is None or h.dpid in wanted
+        ]
+        rows.sort()
+        return rows
+
+    def location_digest(self, dpids: Optional[Iterable[int]] = None) -> str:
+        """sha256 over the canonical location rows.  Two NIBs agree on
+        a dpid set exactly when their digests match -- this is what
+        shards exchange every sync round instead of full tables."""
+        digest = hashlib.sha256()
+        for mac, ip, dpid, port, is_element in self.location_entries(dpids):
+            digest.update(
+                f"{mac} {ip} {dpid} {port} {int(is_element)}\n".encode()
+            )
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Views

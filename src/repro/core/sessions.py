@@ -59,10 +59,10 @@ class Session:
 class SessionTable:
     """Sessions indexed by either direction's 9-tuple and by cookie."""
 
-    def __init__(self) -> None:
+    def __init__(self, start: int = 1, step: int = 1) -> None:
         self._by_flow: Dict[FlowNineTuple, Session] = {}
         self._by_id: Dict[int, Session] = {}
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(start, step)
         self.created = 0
         self.ended = 0
 
@@ -71,6 +71,13 @@ class SessionTable:
 
     def __iter__(self):
         return iter(self._by_id.values())
+
+    def reseed(self, start: int, step: int = 1) -> None:
+        """Re-key the id sequence.  The shard fabric gives shard ``i``
+        of ``N`` the stride ``start=i+1, step=N`` so session ids stay
+        globally unique -- a handoff-preserved id can never collide
+        with one minted by the destination shard."""
+        self._ids = itertools.count(start, step)
 
     def next_id(self) -> int:
         return next(self._ids)

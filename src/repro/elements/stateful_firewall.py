@@ -54,6 +54,7 @@ class StatefulFirewallElement(FirewallElement):
         self.conntrack_hits = 0
         self.acl_evaluations = 0
         self.updates_applied = 0
+        self.entries_resynced = 0
         self._conntrack_sweep = sim.every(
             CONNTRACK_SWEEP_INTERVAL_S, self._sweep_conntrack,
             start=sim.now + CONNTRACK_SWEEP_INTERVAL_S,
@@ -70,6 +71,21 @@ class StatefulFirewallElement(FirewallElement):
         """A peer replica's transition, delivered by the group."""
         self.conntrack.apply_update(update, self.sim.now)
         self.updates_applied += 1
+
+    def restart(self) -> None:
+        """Reboot with a bulk conntrack re-sync: a rebooted VM comes
+        back empty, so before serving it pulls the fleet's ESTABLISHED
+        table from a live peer -- connections admitted before the
+        crash stay on the fast path when failover lands them back
+        here."""
+        if not self.failed:
+            return
+        super().restart()
+        self.conntrack = ConnTrackTable(
+            idle_timeout_s=self.conntrack.idle_timeout_s
+        )
+        if self.replication_group is not None:
+            self.entries_resynced = self.replication_group.resync(self)
 
     def _publish(self, update: Optional[ConnTrackUpdate]) -> None:
         if update is None:
@@ -145,5 +161,6 @@ class StatefulFirewallElement(FirewallElement):
             "conntrack_hits": self.conntrack_hits,
             "acl_evaluations": self.acl_evaluations,
             "updates_applied": self.updates_applied,
+            "entries_resynced": self.entries_resynced,
         })
         return data

@@ -12,6 +12,7 @@ from repro.faults.scenarios import (
     ChaosReport,
     run_chaos_scenario,
     run_compromised_switch_scenario,
+    run_shard_failover_scenario,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "FaultTargetError",
     "run_chaos_scenario",
     "run_compromised_switch_scenario",
+    "run_shard_failover_scenario",
 ]

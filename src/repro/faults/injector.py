@@ -37,6 +37,7 @@ from repro.faults.plan import (
     ElementSlowReport,
     FaultPlan,
     LinkFlap,
+    ShardCrash,
     SwitchCompromise,
     SwitchDisconnect,
 )
@@ -64,11 +65,24 @@ class FaultInjector:
         # a PATH_VIOLATION, recovery a quarantine-attributed failover.
         self._switch_injected_at: Dict[int, float] = {}
         self._switch_detected_at: Dict[int, float] = {}
+        # Shard-crash bookkeeping, keyed by shard id: detection is the
+        # coordinator's SHARD_DOWN, recovery the last SHARD_REHOME of
+        # the dead shard's datapaths.
+        self._shard_injected_at: Dict[int, float] = {}
+        self._shard_detected_at: Dict[int, float] = {}
+        self._shard_pending_dpids: Dict[int, set] = {}
         # Raw sim-clock samples per fault kind, for the per-fault
         # TTD/TTR table the chaos CLI renders.
         self._ttd_samples: Dict[str, List[float]] = {}
         self._ttr_samples: Dict[str, List[float]] = {}
-        registry = net.controller.metrics
+        # A sharded deployment exposes every shard's controller plus a
+        # fabric-level registry; a classic network just its one
+        # controller.  Recovery scoring subscribes to all of them.
+        self._controllers = list(getattr(net, "controllers", None)
+                                 or [net.controller])
+        self._coordinator = getattr(net, "coordinator", None)
+        registry = (net.metrics if self._coordinator is not None
+                    else net.controller.metrics)
         self._injected = {
             kind: registry.counter(
                 "faults.injected", "Faults injected by the chaos harness",
@@ -78,7 +92,7 @@ class FaultInjector:
                 "element-crash", "element-hang", "element-slow-report",
                 "element-restart", "switch-disconnect", "switch-reconnect",
                 "link-flap", "channel-chaos", "switch-compromise",
-                "switch-restore",
+                "switch-restore", "shard-crash", "shard-restart",
             )
         }
         self._affected = registry.counter(
@@ -118,7 +132,20 @@ class FaultInjector:
             "Switch compromise until each session's quarantine failover",
             clock=sim_clock,
         )
-        net.controller.log.subscribe(self._on_event)
+        self._shard_time_to_detect = registry.histogram(
+            "recovery.shard_time_to_detect_s",
+            "Shard crash until the coordinator's SHARD_DOWN",
+            clock=sim_clock,
+        )
+        self._shard_time_to_recover = registry.histogram(
+            "recovery.shard_time_to_recover_s",
+            "Shard crash until its last switch re-homed",
+            clock=sim_clock,
+        )
+        for controller in self._controllers:
+            controller.log.subscribe(self._on_event)
+        if self._coordinator is not None:
+            self._coordinator.log.subscribe(self._on_event)
 
     # ------------------------------------------------------------------
     # Target resolution
@@ -158,6 +185,17 @@ class FaultInjector:
                 if node.name == name:
                     return node
         raise FaultTargetError(f"no node named {name!r}")
+
+    def _shard_member(self, shard: int):
+        if self._coordinator is None:
+            raise FaultTargetError(
+                "shard faults need a sharded deployment (got a"
+                " single-controller network)"
+            )
+        member = self._coordinator.member(shard)
+        if member is None:
+            raise FaultTargetError(f"no shard {shard}")
+        return member
 
     def _link(self, name_a: str, name_b: str):
         node_a = self._node(name_a)
@@ -232,6 +270,10 @@ class FaultInjector:
                 if fault.until_s is not None:
                     sim.schedule_at(fault.until_s, self._clear_channels,
                                     channels, impairments)
+            elif isinstance(fault, ShardCrash):
+                member = self._shard_member(fault.shard)
+                sim.schedule_at(fault.at_s, self._crash_shard,
+                                member, fault.restart_at_s)
             elif isinstance(fault, SwitchCompromise):
                 switch = self._switch(fault.switch)
                 sim.schedule_at(fault.at_s, self._compromise_switch,
@@ -245,9 +287,11 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Fault actions
 
-    def _mark(self, kind: str, **data) -> None:
+    def _mark(self, kind: str, log=None, **data) -> None:
         self._injected[kind].inc()
-        self.net.controller.log.emit(
+        if log is None:
+            log = self.net.controller.log
+        log.emit(
             self.net.sim.now, EventKind.FAULT_INJECTED, fault=kind, **data
         )
 
@@ -307,6 +351,26 @@ class FaultInjector:
             if channel.faults is impairment:
                 channel.inject_faults(None)
 
+    def _crash_shard(self, member, restart_at_s: Optional[float]) -> None:
+        member.fail()
+        shard = member.shard_id
+        self._shard_injected_at[shard] = self.net.sim.now
+        self._shard_pending_dpids[shard] = set(
+            self._coordinator.shard_map.owned_by(shard)
+        )
+        self._mark("shard-crash", log=self._coordinator.log, shard=shard)
+        if restart_at_s is not None:
+            self.net.sim.schedule_at(restart_at_s,
+                                     self._restart_shard, member)
+
+    def _restart_shard(self, member) -> None:
+        member.restart()
+        shard = member.shard_id
+        self._shard_injected_at.pop(shard, None)
+        self._shard_detected_at.pop(shard, None)
+        self._shard_pending_dpids.pop(shard, None)
+        self._mark("shard-restart", log=self._coordinator.log, shard=shard)
+
     def _compromise_switch(self, switch, fault) -> None:
         switch.compromise(fault.variant, port=fault.port)
         self._switch_injected_at[switch.dpid] = self.net.sim.now
@@ -330,6 +394,11 @@ class FaultInjector:
             injected = self._injected_at.get(mac)
             if injected is None:
                 return
+            if len(self._controllers) > 1 and mac in self._detected_at:
+                # Sharded: borrower shards re-log the death a sync
+                # round later (remote_element_down); only the origin's
+                # first detection is the TTD sample.
+                return
             self._detected_at[mac] = event.time
             self._time_to_detect.observe(event.time - injected)
             self._sample(
@@ -337,13 +406,13 @@ class FaultInjector:
                 self._fault_kind.get(mac, "element-crash"),
                 event.time - injected,
             )
-            controller = self.net.controller
-            at_risk = [
-                session
+            at_risk = sum(
+                1
+                for controller in self._controllers
                 for session in controller.sessions.sessions_via_element(mac)
                 if not session.blocked
-            ]
-            self._affected.inc(len(at_risk))
+            )
+            self._affected.inc(at_risk)
         elif event.kind == EventKind.FLOW_FAILOVER:
             dead = event.data.get("dead_element")
             outcome = event.data.get("outcome")
@@ -362,7 +431,11 @@ class FaultInjector:
             # compromised switch: score it against that injection.
             cause = event.data.get("cause", "")
             if isinstance(cause, str) and cause.startswith("quarantine"):
-                record = self.net.controller.nib.host_by_mac(dead)
+                record = None
+                for controller in self._controllers:
+                    record = controller.nib.host_by_mac(dead)
+                    if record is not None:
+                        break
                 since = (
                     self._switch_injected_at.get(record.dpid)
                     if record is not None else None
@@ -380,6 +453,30 @@ class FaultInjector:
             self._acct_time_to_detect.observe(event.time - injected)
             self._sample(self._ttd_samples, "switch-compromise",
                          event.time - injected)
+        elif event.kind == EventKind.SHARD_DOWN:
+            shard = event.data.get("shard")
+            injected = self._shard_injected_at.get(shard)
+            if injected is None or shard in self._shard_detected_at:
+                return
+            self._shard_detected_at[shard] = event.time
+            self._shard_time_to_detect.observe(event.time - injected)
+            self._sample(self._ttd_samples, "shard-crash",
+                         event.time - injected)
+        elif event.kind == EventKind.SHARD_REHOME:
+            shard = event.data.get("shard")
+            pending = self._shard_pending_dpids.get(shard)
+            if not pending:
+                return
+            pending.discard(event.data.get("dpid"))
+            if pending:
+                return
+            # Every datapath of the dead shard has a new owner: the
+            # fabric has recovered from this injection.
+            injected = self._shard_injected_at.get(shard)
+            if injected is not None:
+                self._shard_time_to_recover.observe(event.time - injected)
+                self._sample(self._ttr_samples, "shard-crash",
+                             event.time - injected)
 
     # ------------------------------------------------------------------
     # Results

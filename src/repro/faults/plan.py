@@ -100,6 +100,19 @@ class ChannelChaos:
 
 
 @dataclass(frozen=True)
+class ShardCrash:
+    """A whole controller shard dies (sharded deployments only): its
+    secure channels drop and it stops answering the coordinator's sync
+    rounds, so its switches re-home onto the survivors."""
+
+    at_s: float
+    shard: int
+    restart_at_s: Optional[float] = None
+
+    kind = "shard-crash"
+
+
+@dataclass(frozen=True)
 class SwitchCompromise:
     at_s: float
     switch: str  # switch name
@@ -196,6 +209,16 @@ class FaultPlan:
             at_s, switch, drop_rate, duplicate_rate, extra_delay_s,
             until_s, tuple(directions),
         ))
+
+    def shard_crash(
+        self, at_s: float, shard: int,
+        restart_at_s: Optional[float] = None,
+    ) -> "FaultPlan":
+        if shard < 0:
+            raise ValueError(f"shard id must be >= 0 (got {shard})")
+        if restart_at_s is not None and restart_at_s <= at_s:
+            raise ValueError("restart must come after the crash")
+        return self._add(ShardCrash(at_s, shard, restart_at_s))
 
     def switch_compromise(
         self, at_s: float, switch: str,

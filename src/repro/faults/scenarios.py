@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.deployment import build_livesec_network
+from repro.core.deployment import build_livesec_network, build_sharded_network
 from repro.core.policy import (
     FailMode,
     FlowSelector,
@@ -59,6 +59,12 @@ class ChaosReport:
     variant: Optional[str] = None
     quarantined_dpids: List[int] = field(default_factory=list)
     path_violations: int = 0
+    # Sharded runs: fabric size and what the shard protocol did.
+    shards: int = 1
+    rehomed_switches: int = 0
+    handoff_sessions: int = 0
+    roam_survived: Optional[bool] = None
+    flows_surviving: Optional[str] = None
 
     def to_dict(self) -> dict:
         data = {
@@ -77,6 +83,14 @@ class ChaosReport:
             data["variant"] = self.variant
             data["quarantined_dpids"] = self.quarantined_dpids
             data["path_violations"] = self.path_violations
+        if self.shards > 1:
+            data["shards"] = self.shards
+            data["rehomed_switches"] = self.rehomed_switches
+            data["handoff_sessions"] = self.handoff_sessions
+            if self.roam_survived is not None:
+                data["roam_survived"] = self.roam_survived
+            if self.flows_surviving is not None:
+                data["flows_surviving"] = self.flows_surviving
         return data
 
     def render_text(self) -> str:
@@ -111,6 +125,17 @@ class ChaosReport:
                 f" violations={self.path_violations}"
                 f" quarantined={self.quarantined_dpids}"
             )
+        if self.shards > 1:
+            shard_line = (
+                f"  shard fabric    : shards={self.shards}"
+                f" rehomed={self.rehomed_switches}"
+                f" handoffs={self.handoff_sessions}"
+            )
+            if self.roam_survived is not None:
+                shard_line += f" roam-survived={self.roam_survived}"
+            if self.flows_surviving is not None:
+                shard_line += f" flows-after-crash={self.flows_surviving}"
+            lines.append(shard_line)
         if self.per_fault:
             lines.append("  per-fault latency (sim seconds):")
             lines.append(
@@ -157,6 +182,41 @@ def _hist_summary(snapshot, name: str) -> Dict[str, float]:
     }
 
 
+def _report_inputs(net, record_jsonl: Optional[str]):
+    """``(snapshot, counters, event_lines, digest)`` for scoring a run.
+
+    Classic networks read the one controller; sharded deployments sum
+    the per-shard controller counters, join the shard logs (prefixed,
+    shard order) with the coordinator's, and use the fabric's combined
+    digest.  The recovery/fault histograms live on the injector's
+    registry either way (fabric-level when sharded).  ``record_jsonl``
+    saves shard 0's log -- the replay tool reads one log at a time.
+    """
+    coordinator = getattr(net, "coordinator", None)
+    if coordinator is None:
+        snapshot = net.controller.metrics.snapshot()
+        counters = dict(snapshot.counters())
+        lines = [str(event) for event in net.controller.log.all()]
+        digest = net.controller.log.digest()
+    else:
+        snapshot = net.metrics.snapshot()
+        counters = dict(snapshot.counters())
+        for controller in net.controllers:
+            for name, value in controller.metrics.snapshot().counters().items():
+                counters[name] = counters.get(name, 0) + value
+        lines = []
+        for member in net.members:
+            lines.extend(
+                f"shard{member.shard_id} {event}"
+                for event in member.controller.log.all()
+            )
+        lines.extend(f"fabric {event}" for event in coordinator.log.all())
+        digest = net.event_digest()
+    if record_jsonl is not None:
+        net.controller.log.save(record_jsonl)
+    return snapshot, counters, lines, digest
+
+
 def chaos_policy_table(fail_mode: str) -> PolicyTable:
     """The scenario's policy: everything to the gateway rides an IDS
     chain, with the requested fail mode."""
@@ -181,6 +241,7 @@ def run_chaos_scenario(
     channel_drop_rate: float = 0.0,
     plan: Optional[FaultPlan] = None,
     record_jsonl: Optional[str] = None,
+    shards: int = 1,
 ) -> ChaosReport:
     """Build, fault, run, and score one chaos scenario.
 
@@ -190,20 +251,40 @@ def run_chaos_scenario(
     custom ``plan`` overrides the built-in crash schedule entirely.
     ``record_jsonl`` saves the run's event log as JSON Lines, ready
     for ``python -m repro replay``.
+
+    ``shards > 1`` runs the same scenario on a sharded control plane:
+    the elements land on different shards' switches, so ``crash='one'``
+    forces the dead element's owner to fail sessions over onto replicas
+    it only knows through the federated directory.
     """
     if fail_mode not in ("open", "closed"):
         raise ValueError(f"fail_mode must be open|closed (got {fail_mode})")
     if crash not in ("one", "all"):
         raise ValueError(f"crash must be one|all (got {crash})")
-    net = build_livesec_network(
-        topology="linear",
-        policies=chaos_policy_table(fail_mode),
-        elements=[("ids", num_elements)],
-        num_as=3,
-        hosts_per_as=max(1, (num_hosts + 2) // 3),
-        element_timeout_s=1.5,
-        dispatcher="polling",
-    )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1 (got {shards})")
+    if shards > 1:
+        num_as = max(3, shards)
+        net = build_sharded_network(
+            num_shards=shards,
+            topology="linear",
+            policies=lambda: chaos_policy_table(fail_mode),
+            elements=[("ids", num_elements)],
+            num_as=num_as,
+            hosts_per_as=max(1, (num_hosts + num_as - 1) // num_as),
+            element_timeout_s=1.5,
+            dispatcher="polling",
+        )
+    else:
+        net = build_livesec_network(
+            topology="linear",
+            policies=chaos_policy_table(fail_mode),
+            elements=[("ids", num_elements)],
+            num_as=3,
+            hosts_per_as=max(1, (num_hosts + 2) // 3),
+            element_timeout_s=1.5,
+            dispatcher="polling",
+        )
     if plan is None:
         plan = FaultPlan(seed=seed)
         targets = (
@@ -230,12 +311,9 @@ def run_chaos_scenario(
     net.run(duration_s)
 
     summary = injector.summary()
-    snapshot = net.controller.metrics.snapshot()
-    counters = snapshot.counters()
-    event_lines = [str(event) for event in net.controller.log.all()]
-    digest = net.controller.log.digest()
-    if record_jsonl is not None:
-        net.controller.log.save(record_jsonl)
+    snapshot, counters, event_lines, digest = _report_inputs(
+        net, record_jsonl
+    )
     return ChaosReport(
         seed=plan.seed,
         fail_mode=fail_mode,
@@ -258,6 +336,13 @@ def run_chaos_scenario(
         event_digest=digest,
         event_lines=event_lines,
         per_fault=summary["per_fault"],
+        shards=shards,
+        rehomed_switches=int(
+            counters.get("sharding.rehomed_switches", 0)
+        ),
+        handoff_sessions=int(
+            counters.get("sharding.handoff_sessions", 0)
+        ),
     )
 
 
@@ -376,4 +461,159 @@ def run_compromised_switch_scenario(
         variant=variant,
         quarantined_dpids=sorted(net.controller.quarantined_dpids),
         path_violations=int(counters.get("accountability.violations", 0)),
+    )
+
+
+ROAM_AT_S = 4.5
+SHARD_CRASH_AT_S = 6.0
+
+
+def run_shard_failover_scenario(
+    seed: int = 0,
+    duration_s: float = 12.0,
+    k: int = 4,
+    record_jsonl: Optional[str] = None,
+) -> ChaosReport:
+    """The shard fabric under its two defining stresses, in one run.
+
+    A k-ary fat tree partitioned per-pod across ``k`` controller
+    shards, one IDS per pod, every host streaming UDP through the IDS
+    chain toward the gateway (pod 0).  Then:
+
+    * at t=4.5s the last pod's host roams onto a pod-0 edge switch --
+      a cross-shard HOST_MOVE, so its established session must ride
+      the handoff protocol (state serialized to shard 0, ingress rules
+      re-installed there, same session id);
+    * at t=6s shard 1 crashes.  The coordinator's liveness scan must
+      declare it down and re-home its datapaths onto the survivors,
+      while the crashed shard's established sessions keep forwarding
+      on data-plane state the whole time.
+
+    The report scores both: ``roam_survived`` is the handoff verdict,
+    ``flows_surviving`` counts the crashed pod's flows still delivering
+    bytes to the gateway after the crash, and the shard TTD/TTR
+    histograms land in the usual detect/recover columns.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"k must be even and >= 2 (got {k})")
+    net = build_sharded_network(
+        num_shards=k,
+        topology="fattree",
+        k=k,
+        hosts_per_edge=1,
+        policies=lambda: chaos_policy_table("open"),
+        element_timeout_s=1.5,
+        dispatcher="polling",
+    )
+    # One IDS per pod, homed on the pod's first edge OvS: every shard
+    # owns a replica, so re-steering after the crash stays local while
+    # the directory still federates the full fleet.
+    for shard in range(k):
+        dpid = net.shard_map.owned_by(shard)[0]
+        switch = next(
+            s for s in net.topology.as_switches if s.dpid == dpid
+        )
+        net.add_element("ids", switch)
+    crashed_shard = 1
+    plan = FaultPlan(seed=seed).shard_crash(SHARD_CRASH_AT_S, crashed_shard)
+    injector = FaultInjector(net, plan)
+    injector.arm()
+    net.start()
+
+    gateway = net.topology.gateway
+    hosts = [h for h in net.topology.hosts if h is not gateway]
+    flows = {
+        host.name: CbrUdpFlow(
+            net.sim, host, GATEWAY_IP,
+            rate_bps=2e6, duration_s=duration_s,
+        ).start()
+        for host in hosts
+    }
+
+    # Bytes the gateway has seen per crashed-pod flow, sampled just
+    # after the crash: survival means the count keeps growing.
+    crashed_dpids = set(net.shard_map.owned_by(crashed_shard))
+    crashed_flows = {
+        name: flow for name, flow in flows.items()
+        if net.topology.attachments[name].switch.dpid in crashed_dpids
+    }
+    at_crash: Dict[int, int] = {}
+
+    def _sample_goodput() -> None:
+        for flow in crashed_flows.values():
+            at_crash[flow.flow_id] = gateway.received_bits(flow.flow_id)
+
+    net.sim.schedule_at(SHARD_CRASH_AT_S + 0.05, _sample_goodput)
+
+    # Cross-pod roam: the last edge switch's host moves onto pod 0's
+    # second edge switch (dpid 2) -- different shard, so the session
+    # must hand off.
+    roamer_name = f"h{k * k // 2}_1"
+    roamer = net.topology.host_by_name(roamer_name)
+    net.sim.run(until=ROAM_AT_S)
+    old_owner = net.member_of(net.topology.attachments[roamer_name]
+                              .switch.dpid)
+    roam_session_ids = {
+        session.session_id
+        for session in old_owner.controller.sessions.sessions_of_user(
+            roamer.mac
+        )
+    }
+    destination = next(s for s in net.topology.as_switches if s.dpid == 2)
+    net.topology.move_host(roamer_name, destination)
+    roamer.announce()
+    net.sim.run(until=max(duration_s, SHARD_CRASH_AT_S + 4.0))
+
+    new_owner = net.member_of(2)
+    adopted_ids = {
+        session.session_id
+        for session in new_owner.controller.sessions.sessions_of_user(
+            roamer.mac
+        )
+        if not session.blocked
+    }
+    roam_survived = bool(roam_session_ids & adopted_ids)
+    survivors = sum(
+        1 for flow in crashed_flows.values()
+        if gateway.received_bits(flow.flow_id)
+        > at_crash.get(flow.flow_id, 0)
+    )
+
+    summary = injector.summary()
+    snapshot, counters, event_lines, digest = _report_inputs(
+        net, record_jsonl
+    )
+    return ChaosReport(
+        seed=plan.seed,
+        fail_mode="open",
+        crash="shard",
+        duration_s=duration_s,
+        injected=summary["injected"],
+        affected_sessions=summary["affected_sessions"],
+        recovered_sessions=summary["recovered_sessions"],
+        failed_open_sessions=summary["failed_open_sessions"],
+        blocked_sessions=summary["blocked_sessions"],
+        torn_down_sessions=summary["torn_down_sessions"],
+        unrecovered_sessions=summary["unrecovered_sessions"],
+        time_to_detect_s=_hist_summary(
+            snapshot, "recovery.shard_time_to_detect_s"
+        ),
+        time_to_recover_s=_hist_summary(
+            snapshot, "recovery.shard_time_to_recover_s"
+        ),
+        install_retries=int(counters.get("controller.install_retries", 0)),
+        install_failures=int(counters.get("controller.install_failures", 0)),
+        events=len(event_lines),
+        event_digest=digest,
+        event_lines=event_lines,
+        per_fault=summary["per_fault"],
+        shards=k,
+        rehomed_switches=int(
+            counters.get("sharding.rehomed_switches", 0)
+        ),
+        handoff_sessions=int(
+            counters.get("sharding.handoff_sessions", 0)
+        ),
+        roam_survived=roam_survived,
+        flows_surviving=f"{survivors}/{len(crashed_flows)}",
     )

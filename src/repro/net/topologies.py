@@ -151,6 +151,37 @@ class Topology:
         connect(self.sim, as_switch, core, bandwidth_bps=bandwidth_bps,
                 delay_s=CORE_LINK_DELAY_S)
 
+    def move_host(
+        self,
+        name: str,
+        new_switch: Node,
+        bandwidth_bps: float = FAST_ETHERNET,
+    ) -> Host:
+        """Physically re-attach a host (VM migration, Section III.D.1):
+        the old access link is unplugged at both ends and a fresh one
+        wired to ``new_switch``.  The host must ``announce()`` from the
+        new location before the control plane notices the move."""
+        attachment = self.attachments[name]
+        host = attachment.host
+        old_port = attachment.switch.ports[attachment.switch_port]
+        host_port = old_port.peer()
+        old_port.link = None
+        if host_port is not None:
+            host_port.link = None
+        switch_port = new_switch.next_free_port().number
+        connect(
+            self.sim,
+            new_switch,
+            host,
+            bandwidth_bps=bandwidth_bps,
+            delay_s=ACCESS_LINK_DELAY_S,
+            port_a=switch_port,
+            port_b=(host_port.number if host_port is not None
+                    else host.next_free_port().number),
+        )
+        self.attachments[name] = Attachment(host, new_switch, switch_port)
+        return host
+
 
 # ---------------------------------------------------------------------------
 # Canned topologies

@@ -195,3 +195,111 @@ class TestStatefulFailoverUnderChaos:
         assert data["acl_evaluations"] == 0
         assert data["conntrack_hits"] == 0
         assert data["updates_applied"] == 0
+        assert data["entries_resynced"] == 0
+
+
+class TestRestartResync:
+    """Satellite: a restarted replica pulls the fleet's ESTABLISHED
+    table from a live peer before serving."""
+
+    def _pair(self, sim):
+        from repro.core.conntrack import ConnTrackReplicationGroup
+
+        group = ConnTrackReplicationGroup(sim)
+        a = StatefulFirewallElement(
+            sim, "sfw-a", "00:aa:00:00:00:0a", "10.9.0.10",
+        )
+        b = StatefulFirewallElement(
+            sim, "sfw-b", "00:aa:00:00:00:0b", "10.9.0.11",
+        )
+        a.join_replication_group(group)
+        b.join_replication_group(group)
+        return group, a, b
+
+    def test_resync_copies_only_established(self, sim):
+        group, a, b = self._pair(sim)
+        # One ESTABLISHED connection (forward + reply) and one stuck at
+        # NEW on the donor.
+        fwd_frame, fwd_flow = udp_flow("10.0.1.5", "10.0.2.7", 20000, 9000)
+        rev_frame, rev_flow = udp_flow("10.0.2.7", "10.0.1.5", 9000, 20000)
+        a.inspect(fwd_frame, fwd_flow)
+        a.inspect(rev_frame, rev_flow)
+        new_frame, new_flow = udp_flow("10.0.1.6", "10.0.2.7", 20001, 9000)
+        a.inspect(new_frame, new_flow)
+
+        b.fail()
+        b.conntrack = type(b.conntrack)()  # simulate total state loss
+        b.restart()
+        assert b.entries_resynced == 1
+        entry = b.conntrack.lookup(five_tuple_of(fwd_flow))
+        assert entry is not None and entry.state == ESTABLISHED
+        assert b.conntrack.lookup(five_tuple_of(new_flow)) is None
+
+    def test_resync_skips_dead_donors(self, sim):
+        group, a, b = self._pair(sim)
+        fwd_frame, fwd_flow = udp_flow("10.0.1.5", "10.0.2.7", 20000, 9000)
+        rev_frame, rev_flow = udp_flow("10.0.2.7", "10.0.1.5", 9000, 20000)
+        a.inspect(fwd_frame, fwd_flow)
+        a.inspect(rev_frame, rev_flow)
+        a.fail()
+        b.fail()
+        b.restart()
+        # The only peer is dead: nothing to pull, serve from scratch.
+        assert b.entries_resynced == 0
+        assert len(b.conntrack) == 0
+
+    def test_crash_restart_failover_back(self):
+        """Regression for the full loop: sfw-1 crashes (sessions fail
+        over to sfw-2), restarts and re-syncs, then sfw-2 crashes --
+        the sessions land *back* on sfw-1, which must carry them on
+        the conntrack fast path with zero ACL re-evaluations."""
+        net = build_livesec_network(
+            topology="linear",
+            policies=sfw_policy_table(),
+            elements=[("sfw", 2)],
+            num_as=3,
+            hosts_per_as=2,
+            element_timeout_s=1.5,
+            dispatcher="polling",
+        )
+        first, second = net.elements
+        plan = (FaultPlan(seed=5)
+                .element_crash(4.0, first.name, restart_at_s=6.0)
+                .element_crash(8.5, second.name))
+        injector = FaultInjector(net, plan)
+        injector.arm()
+        net.start()
+        attach_udp_echo(net.topology.gateway)
+        hosts = [h for h in net.topology.hosts
+                 if h is not net.topology.gateway]
+        for host in hosts[:4]:
+            CbrUdpFlow(net.sim, host, GATEWAY_IP,
+                       rate_bps=2e6, duration_s=12.0).start()
+
+        post_restart = {}
+
+        def snapshot_post_restart():
+            post_restart.update({
+                "acl_evaluations": first.acl_evaluations,
+                "established": first.conntrack.states()[ESTABLISHED],
+                "entries_resynced": first.entries_resynced,
+            })
+
+        net.sim.schedule_at(6.5, snapshot_post_restart)
+        net.run(14.0)
+
+        summary = injector.summary()
+        assert summary["affected_sessions"] > 0
+        assert summary["unrecovered_sessions"] == 0
+
+        # The restart wiped the table, and the re-sync refilled it from
+        # the live peer before any post-restart packet arrived.
+        assert post_restart["entries_resynced"] > 0
+        assert post_restart["established"] > 0
+        # Failover-back rode the resynced entries: conntrack hits kept
+        # climbing on sfw-1 with not one ACL re-evaluation after the
+        # restart.
+        assert first.acl_evaluations == post_restart["acl_evaluations"], (
+            "restarted replica re-evaluated its ACL mid-session"
+        )
+        assert first.conntrack.states()[ESTABLISHED] > 0
