@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-smoke lint stats-smoke chaos-smoke \
 	chaos-determinism accountability-smoke replay-smoke policy-smoke \
-	shard-smoke examples all
+	shard-smoke fluid-smoke examples all
 
 install:
 	python setup.py develop
@@ -13,15 +13,18 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
-# Seconds-scale microbenches of the scan-vs-index hot paths and the
-# shard fabric's scaling curve; each exits non-zero unless the new
-# path beats its reference (indexed vs linear oracle; >=3x aggregate
-# sessions/sec at 8 shards vs 1).  Writes BENCH_flowtable.json +
-# BENCH_eventlog.json + BENCH_shard_scaling.json.
+# Seconds-scale microbenches of the scan-vs-index hot paths, the
+# shard fabric's scaling curve, and the fluid fast-forward kernel;
+# each exits non-zero unless the new path beats its reference
+# (indexed vs linear oracle; >=3x aggregate sessions/sec at 8 shards
+# vs 1; >=10x wall-clock at 1000 suspended flows).  Writes
+# BENCH_flowtable.json + BENCH_eventlog.json +
+# BENCH_shard_scaling.json + BENCH_fluid.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_flowtable.py
 	PYTHONPATH=src python benchmarks/bench_eventlog.py
 	PYTHONPATH=src python benchmarks/bench_shard_scaling.py
+	PYTHONPATH=src python benchmarks/bench_fluid.py
 
 # ruff when available; otherwise a full-tree syntax check plus the
 # stdlib-only unused-import checker (the part of ruff we rely on).
@@ -102,6 +105,27 @@ shard-smoke:
 		{ echo "cross-pod handoff dropped the session"; exit 1; }
 	@grep -q 'flows-after-crash=2/2' /tmp/shard-smoke.txt || \
 		{ echo "sessions did not survive the shard crash"; exit 1; }
+
+# The fluid fast-forward kernel end to end: a seeded CBR mix must
+# match the packet-level oracle flow-for-flow and digest-for-digest
+# (--assert-equivalent exits non-zero otherwise), including under a
+# mid-run link flap; the fluid run itself must be digest-stable
+# across two identical invocations.
+fluid-smoke:
+	@PYTHONPATH=src python -m repro fluid --seed 3 --assert-equivalent \
+		| tee /tmp/fluid-a.txt
+	@PYTHONPATH=src python -m repro fluid --seed 3 --assert-equivalent \
+		| tee /tmp/fluid-b.txt
+	@a=$$(grep -o 'digest [0-9a-f]\{64\}' /tmp/fluid-a.txt); \
+	b=$$(grep -o 'digest [0-9a-f]\{64\}' /tmp/fluid-b.txt); \
+	if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+		echo "fluid digest mismatch: '$$a' vs '$$b'"; exit 1; \
+	else \
+		echo "fluid determinism OK ($$a)"; \
+	fi
+	@PYTHONPATH=src python -m repro fluid --seed 6 --link-flap \
+		--assert-equivalent | tee /tmp/fluid-flap.txt
+	@echo "fluid oracle equivalence OK (steady + link flap)"
 
 # Record a seeded scenario's event log to JSONL, replay it from disk,
 # and require the replayed digest to match the live run's exactly.

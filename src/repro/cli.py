@@ -19,6 +19,9 @@ without writing a script:
                      run from a JSONL event-log file,
 * ``scale``       -- build the paper-scale FIT deployment and print the
                      controller's view of it,
+* ``fluid``       -- run a seeded CBR mix under the fluid fast-forward
+                     kernel next to the packet-level oracle and diff
+                     the outcomes (optionally asserting equivalence),
 * ``shards``      -- boot an N-shard control plane and print the
                      coordinator's fabric status,
 * ``apps``        -- list the controller's loaded apps with their bus
@@ -495,6 +498,55 @@ def cmd_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fluid(args: argparse.Namespace) -> int:
+    """Run one seeded CBR mix twice -- packet oracle, then fluid
+    kernel -- and print the per-flow diff, the kernel's counters, and
+    a greppable control-plane digest line."""
+    from repro.workloads.fluidcheck import compare_modes
+
+    tolerance = args.tolerance if args.tolerance is not None else (
+        2 if args.link_flap else 0
+    )
+    result = compare_modes(
+        args.seed,
+        delivered_tolerance_frames=tolerance,
+        num_flows=args.flows,
+        traffic_s=args.seconds,
+        link_flap=args.link_flap,
+    )
+    packet, fluid = result["packet"], result["fluid"]
+    print(f"seed {args.seed}: {args.flows} flows over {args.seconds}s"
+          f" ({'with' if args.link_flap else 'no'} link flap)")
+    print(f"  events: packet={packet.events_processed}"
+          f" fluid={fluid.events_processed}"
+          f" ({packet.events_processed / max(1, fluid.events_processed):.1f}x"
+          " fewer)")
+    print("  flow  sent-pkts  delivered-bytes  oracle-delta")
+    for row_p, row_f in zip(packet.flows, fluid.flows):
+        delta = row_f["delivered_bytes"] - row_p["delivered_bytes"]
+        print(f"  {row_f['index']:>4}"
+              f"  {row_f['sent_packets']:>9}"
+              f"  {row_f['delivered_bytes']:>15}"
+              f"  {delta:>+12}")
+    stats = fluid.fluid_stats
+    print(f"  fluid: synthesized={stats['packets_synthesized']}"
+          f" time_saved={stats['time_saved_s']:.2f}s"
+          f" resumes={stats['resumes']}"
+          f" refusals={stats['refusals']}"
+          f" materializations={stats['materializations']}")
+    print(f"  digest {fluid.control_digest}")
+    if not result["equivalent"]:
+        print(f"  NOT EQUIVALENT: digests_equal={result['digests_equal']}"
+              f" flow_mismatches={len(result['flow_mismatches'])}")
+        for mismatch in result["flow_mismatches"][:5]:
+            print(f"    packet={mismatch['packet']} fluid={mismatch['fluid']}")
+        if args.assert_equivalent:
+            return 1
+    elif args.assert_equivalent:
+        print("  equivalent: fluid run matches the packet oracle")
+    return 0
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     net = build_livesec_network(
         topology="fit", policies=_ids_policies(),
@@ -620,6 +672,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     scale = sub.add_parser("scale", help="paper-scale FIT deployment")
     scale.set_defaults(func=cmd_scale)
+
+    fluid = sub.add_parser(
+        "fluid",
+        help="fluid fast-forward kernel vs the packet-level oracle",
+    )
+    fluid.add_argument("--seed", type=int, default=0,
+                       help="workload seed (default 0)")
+    fluid.add_argument("--flows", type=int, default=8,
+                       help="CBR flows in the mix (default 8)")
+    fluid.add_argument("--seconds", type=float, default=4.0,
+                       help="traffic window in sim-seconds (default 4)")
+    fluid.add_argument("--link-flap", action="store_true",
+                       help="down/restore an access link mid-run")
+    fluid.add_argument("--tolerance", type=int, default=None,
+                       help="allowed per-flow delivered-frame delta"
+                            " (default 0; 2 with --link-flap)")
+    fluid.add_argument("--assert-equivalent", action="store_true",
+                       help="exit 1 unless the fluid run matches the oracle")
+    fluid.set_defaults(func=cmd_fluid)
 
     shards = sub.add_parser(
         "shards",

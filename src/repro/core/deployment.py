@@ -27,6 +27,7 @@ from repro.core.sharding import (
 from repro.core.visualization import MonitoringComponent
 from repro.elements import ELEMENT_TYPES
 from repro.elements.base import ServiceElement
+from repro.net.fluid import FluidRegion
 from repro.net.host import Host
 from repro.net.node import connect
 from repro.net.simulator import Simulator
@@ -53,6 +54,8 @@ class LiveSecNetwork:
     conntrack_groups: Dict[str, ConnTrackReplicationGroup] = field(
         default_factory=dict
     )
+    # The attached fast-forward region when built with ``fluid=True``.
+    fluid: Optional[FluidRegion] = None
     started: bool = False
 
     # ------------------------------------------------------------------
@@ -400,6 +403,8 @@ def build_livesec_network(
     install_batching: bool = True,
     event_retention: Optional[int] = None,
     accountability: bool = False,
+    fluid: bool = False,
+    fluid_config: Optional[dict] = None,
     sim: Optional[Simulator] = None,
     **topology_kwargs,
 ) -> LiveSecNetwork:
@@ -412,6 +417,11 @@ def build_livesec_network(
     ``[("ids", 160), ("l7", 40)]`` on the ``'fit'`` topology.
     ``policy_file`` loads (and conflict-verifies) a v1/v2 policy
     document instead of passing a prebuilt ``policies`` table.
+
+    ``fluid=True`` attaches a :class:`~repro.net.fluid.FluidRegion`:
+    steady CBR phases are fast-forwarded analytically while anything
+    control-plane-visible stays at packet fidelity (``fluid_config``
+    forwards kwargs such as ``max_utilization`` / ``congestion``).
 
     Call :meth:`LiveSecNetwork.start` before sending traffic.
     """
@@ -448,6 +458,10 @@ def build_livesec_network(
     network = LiveSecNetwork(
         sim=sim, topology=topo, controller=controller, monitoring=monitoring
     )
+    if fluid:
+        region = FluidRegion(sim, **(fluid_config or {}))
+        region.attach_metrics(controller.metrics)
+        network.fluid = region
     network._connect_channels(control_latency_s)
     for element_type, count in elements:
         for index in range(count):

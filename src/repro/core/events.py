@@ -29,6 +29,7 @@ from typing import (
     Callable,
     Dict,
     IO,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -385,17 +386,31 @@ class EventLog:
             if segment.events
         ]
 
-    def digest(self) -> str:
+    def digest(self, exclude_kinds: Optional[Iterable[str]] = None) -> str:
         """sha256 over the canonical JSONL form of the retained events.
 
         Stable across a :meth:`save`/:meth:`load` round trip, which is
         what ``make replay-smoke`` asserts.
+
+        ``exclude_kinds`` drops the named kinds before hashing.  The
+        fluid fast-forward equivalence checks use it to compare the
+        *control-plane* record (lifecycle events) while ignoring
+        ``SAMPLE_KINDS`` load samples, whose instantaneous values lead
+        or lag by whatever packets were in flight at the sample tick.
         """
+        skip = frozenset(exclude_kinds) if exclude_kinds is not None else None
         hasher = hashlib.sha256()
         for event in self:
+            if skip is not None and event.kind in skip:
+                continue
             hasher.update(event.json_line().encode())
             hasher.update(b"\n")
         return hasher.hexdigest()
+
+    def control_digest(self) -> str:
+        """:meth:`digest` restricted to discrete lifecycle events (the
+        high-churn :data:`SAMPLE_KINDS` are excluded)."""
+        return self.digest(exclude_kinds=SAMPLE_KINDS)
 
     # ------------------------------------------------------------------
     # Persistence (JSONL)

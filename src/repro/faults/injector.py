@@ -288,6 +288,11 @@ class FaultInjector:
     # Fault actions
 
     def _mark(self, kind: str, log=None, **data) -> None:
+        # Faults change forwarding behavior out from under any
+        # fast-forwarded flows; drop back to packet fidelity first.
+        fluid = getattr(self.net.sim, "fluid", None)
+        if fluid is not None:
+            fluid.materialize_all("fault")
         self._injected[kind].inc()
         if log is None:
             log = self.net.controller.log

@@ -86,6 +86,20 @@ class EcmpLegacySwitch(LegacySwitch):
             self.ecmp_balanced += 1
         return super().send(frame, chosen)
 
+    def peek_forward(self, frame: Ethernet, in_port: int):
+        # Mirror receive()/send(): canonicalize the ingress group for
+        # the MAC lookup, then resolve the stored port through its
+        # group's flow hash -- still side-effect free.
+        canonical = self.group_of(in_port)[0] if in_port in self._groups \
+            else in_port
+        out = super().peek_forward(frame, canonical)
+        if out is None:
+            return None
+        group = self._groups.get(out)
+        if group is None:
+            return out
+        return self._pick_member(frame, group)
+
     def _pick_member(self, frame: Ethernet, group: Tuple[int, ...]) -> int:
         nine = extract_nine_tuple(frame)
         key = "|".join(str(field) for field in nine).encode()

@@ -211,6 +211,26 @@ class LegacySwitch(Node):
             return
         self._flood_forwarding(frame, in_port)
 
+    def peek_forward(self, frame: Ethernet, in_port: int) -> Optional[int]:
+        """The port :meth:`receive` would forward ``frame`` to, with no
+        side effects (no MAC learning, nothing sent).
+
+        Returns ``None`` when the frame would be dropped, flooded, or
+        hairpinned -- cases the fluid fast-forward kernel refuses to
+        model analytically.
+        """
+        if frame.ethertype == ETH_TYPE_BPDU:
+            return None
+        if not self.port_is_forwarding(in_port):
+            return None
+        entry = self.mac_table.get(frame.dst)
+        if entry is None or self.sim.now - entry[1] > MAC_AGING_S:
+            return None
+        out_port, _ = entry
+        if out_port == in_port or not self.port_is_forwarding(out_port):
+            return None
+        return out_port
+
     def _flood_forwarding(self, frame: Ethernet, in_port: int) -> None:
         for port in self.attached_ports():
             if port.number == in_port:

@@ -11,11 +11,18 @@ A link models the three properties the evaluation depends on:
 
 Each direction is independent (full duplex).  Per-direction byte
 counters feed the link-utilization view of the visualization layer.
+
+The drop-tail queue models the transmit buffer: a frame occupies a
+slot from enqueue until its *serialization* finishes, not until it has
+also propagated to the far end -- propagation happens on the wire, not
+in the buffer.  Occupancy is therefore derived from the queue of
+serialization-completion times, pruned lazily against ``now``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, TYPE_CHECKING
+from collections import deque
+from typing import Deque, Dict, Iterable, TYPE_CHECKING
 
 from repro.net.packet import Ethernet
 
@@ -29,7 +36,7 @@ class _Direction:
 
     __slots__ = (
         "next_free",
-        "queued",
+        "pending_done",
         "tx_packets",
         "tx_bytes",
         "dropped",
@@ -38,11 +45,78 @@ class _Direction:
 
     def __init__(self) -> None:
         self.next_free = 0.0
-        self.queued = 0
+        # Serialization-completion times of queued frames, ascending
+        # (next_free is monotone).  A slot frees when its frame is
+        # fully on the wire -- before propagation completes.
+        self.pending_done: Deque[float] = deque()
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped = 0
         self.busy_time = 0.0
+
+    def occupancy(self, now: float) -> int:
+        """Frames still in the transmit buffer at ``now``."""
+        pending = self.pending_done
+        while pending and pending[0] <= now:
+            pending.popleft()
+        return len(pending)
+
+
+class HopPlan:
+    """One hop's precomputed fluid-advance accounting.
+
+    Built once per suspension by :meth:`Link.fluid_plan`; applied per
+    analytic advance by :func:`fluid_apply`.  ``end_offset_s`` is when
+    a frame emitted at ``t`` finishes *serializing* on this hop
+    (arrival at the far end minus propagation) -- it advances the
+    direction's ``next_free`` clock so a packet-level frame arriving
+    right after a fast-forward (a new flow's first punt, a
+    materialized resume) waits behind the analytic traffic exactly as
+    it would have behind the real frames.  ``medium`` is the shared
+    radio for wireless hops (None on wired links).
+    """
+
+    __slots__ = (
+        "link", "direction", "from_port", "to_port", "medium",
+        "busy_per_packet_s", "end_offset_s",
+    )
+
+
+def fluid_apply(
+    plans: Iterable[HopPlan], packets: int, packet_size: int, last_t: float
+) -> None:
+    """Account ``packets`` analytically advanced frames on every hop.
+
+    One call per flow-advance (the kernel's hottest path): the loop
+    body is plain counter arithmetic over the precomputed plans.
+    ``last_t`` is the emission time of the final synthesized frame.
+    """
+    if packets <= 0:
+        return
+    total = packets * packet_size
+    for plan in plans:
+        direction = plan.direction
+        direction.tx_packets += packets
+        direction.tx_bytes += total
+        direction.busy_time += packets * plan.busy_per_packet_s
+        end = last_t + plan.end_offset_s
+        if end > direction.next_free:
+            direction.next_free = end
+        port = plan.from_port
+        port.tx_packets += packets
+        port.tx_bytes += total
+        port = plan.to_port
+        port.rx_packets += packets
+        port.rx_bytes += total
+        medium = plan.medium
+        if medium is not None:
+            # The shared radio's airtime and serialization clock
+            # advance too, so real frames sent right after a
+            # fast-forward contend with the synthesized airtime.
+            medium.busy_time += packets * plan.busy_per_packet_s
+            medium.frames += packets
+            if end > medium.next_free:
+                medium.next_free = end
 
 
 class Link:
@@ -94,17 +168,17 @@ class Link:
             from_port.tx_drops += 1
             return False
         direction = self._directions[id(from_port)]
-        if direction.queued >= self.queue_packets:
+        now = self.sim.now
+        if direction.occupancy(now) >= self.queue_packets:
             direction.dropped += 1
             from_port.tx_drops += 1
             return False
 
-        now = self.sim.now
         tx_time = frame.size * 8.0 / self.bandwidth_bps
         start = max(now, direction.next_free)
         done = start + tx_time
         direction.next_free = done
-        direction.queued += 1
+        direction.pending_done.append(done)
         direction.busy_time += tx_time
         direction.tx_packets += 1
         direction.tx_bytes += frame.size
@@ -118,12 +192,38 @@ class Link:
         return True
 
     def _deliver(self, frame: Ethernet, from_port: "Port", to_port: "Port") -> None:
-        self._directions[id(from_port)].queued -= 1
+        # The queue slot was released when serialization finished (see
+        # _Direction.occupancy); delivery only hands the frame over.
         if not self.up or not to_port.enabled:
             return
         to_port.rx_packets += 1
         to_port.rx_bytes += frame.size
         to_port.node.receive(frame, to_port.number)
+
+    def fluid_plan(
+        self, from_port: "Port", packet_size: int, arrival_offset_s: float
+    ) -> "HopPlan":
+        """Precompute this hop's analytic accounting for the fluid
+        fast-forward kernel.
+
+        ``arrival_offset_s`` is when a frame emitted at ``t`` arrives
+        at the far end; the plan holds everything :func:`fluid_apply`
+        needs so the per-advance hot loop is pure arithmetic.  The plan
+        keeps link, port and utilization counters identical to what the
+        packet path would have accumulated -- same fields, no events.
+        Queue occupancy is untouched: fluid mode only runs while the
+        traversed links have headroom, so analytic traffic never
+        queues.
+        """
+        plan = HopPlan()
+        plan.link = self
+        plan.direction = self._directions[id(from_port)]
+        plan.from_port = from_port
+        plan.to_port = self.other_end(from_port)
+        plan.medium = None
+        plan.busy_per_packet_s = packet_size * 8.0 / self.bandwidth_bps
+        plan.end_offset_s = arrival_offset_s - self.delay_s
+        return plan
 
     def stats(self, from_port: "Port") -> dict:
         """Counters for the direction transmitting out of ``from_port``."""
@@ -133,7 +233,7 @@ class Link:
             "tx_bytes": direction.tx_bytes,
             "dropped": direction.dropped,
             "busy_time": direction.busy_time,
-            "queued": direction.queued,
+            "queued": direction.occupancy(self.sim.now),
         }
 
     def utilization(self, from_port: "Port", window_start: float) -> float:
@@ -151,7 +251,15 @@ class Link:
 
     def set_up(self, up: bool) -> None:
         """Administratively raise or fail the link (fault injection)."""
+        changed = self.up != up
         self.up = up
+        if changed:
+            fluid = getattr(self.sim, "fluid", None)
+            if fluid is not None:
+                # Suspended flows may traverse this link (a failure
+                # invalidates their paths) or a restored link may
+                # change legacy forwarding: resume packet fidelity.
+                fluid.materialize_all("link-admin")
 
     def __repr__(self) -> str:
         return (

@@ -20,7 +20,7 @@ from typing import Any, Callable, List, Optional
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
         self.time = time
@@ -28,10 +28,20 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # The simulator whose heap still holds this handle; cleared when
+        # the event is popped (fired or reaped) so late cancels of dead
+        # handles never skew the live-event accounting.
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -56,12 +66,21 @@ class Simulator:
     1.5
     """
 
+    # Compact the heap when cancelled handles are the majority; below
+    # this size the O(n) sweep costs more than it saves.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self) -> None:
         self._queue: List[EventHandle] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._cancelled_queued = 0
         self.events_processed = 0
+        self.heap_compactions = 0
+        # Attached fluid fast-forward region (see repro.net.fluid); the
+        # run loop consults it before every event pop.
+        self.fluid = None
 
     @property
     def now(self) -> float:
@@ -81,8 +100,41 @@ class Simulator:
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
         handle = EventHandle(time, next(self._seq), callback, args)
+        handle._sim = self
         heapq.heappush(self._queue, handle)
         return handle
+
+    def attach_fluid(self, region) -> None:
+        """Attach a fluid fast-forward region (one per simulator).
+
+        The run loop calls ``region.advance_to(horizon)`` before every
+        event, so analytic state is always caught up to ``now`` when a
+        callback reads counters.
+        """
+        if self.fluid is not None and self.fluid is not region:
+            raise RuntimeError("a fluid region is already attached")
+        self.fluid = region
+
+    # ------------------------------------------------------------------
+    # Cancelled-handle accounting
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_queued += 1
+        if (self._cancelled_queued * 2 > len(self._queue)
+                and len(self._queue) >= self.COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled handles and re-heapify.
+
+        Without this, cancel/reschedule churn (TCP RTO timers, flow
+        pacing) grows the heap without bound until the dead handles
+        surface naturally.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_queued = 0
+        self.heap_compactions += 1
 
     def every(
         self,
@@ -101,9 +153,19 @@ class Simulator:
         interval from now.  ``jitter`` adds a fixed phase offset,
         useful to avoid thundering herds of simultaneous periodic
         events.
+
+        ``jitter`` only applies to the computed default start; passing
+        it together with an explicit ``start`` raises ``ValueError``
+        (it used to be silently ignored) -- fold the offset into
+        ``start`` instead.
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive (got {interval})")
+        if start is not None and jitter != 0.0:
+            raise ValueError(
+                "jitter is ignored when an explicit start is given;"
+                " fold the phase offset into start instead"
+            )
         first = (self._now + interval + jitter) if start is None else start
         series = _PeriodicSeries(self, interval, callback, args)
         series.handle = self.schedule_at(first, series.fire)
@@ -111,7 +173,13 @@ class Simulator:
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events until the queue drains, ``until`` is reached,
-        or ``max_events`` have fired."""
+        or ``max_events`` have fired.
+
+        When a fluid region is attached and has suspended flows, their
+        analytic state is advanced to each event's timestamp before the
+        event fires (and to ``until`` before returning), so every
+        callback observes counters consistent with packet-level time.
+        """
         self._running = True
         processed = 0
         try:
@@ -121,24 +189,39 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_queued -= 1
                     continue
+                fluid = self.fluid
+                if fluid is not None and fluid.active:
+                    horizon = head.time
+                    if until is not None and until < horizon:
+                        horizon = until
+                    if fluid.advance_to(horizon):
+                        # A suspended flow re-materialized before the
+                        # head event: re-evaluate heap order.
+                        continue
                 if until is not None and head.time > until:
                     self._now = until
                     break
                 event = heapq.heappop(self._queue)
+                event._sim = None
                 self._now = event.time
                 event.callback(*event.args)
                 processed += 1
                 self.events_processed += 1
             else:
                 if until is not None and until > self._now:
+                    fluid = self.fluid
+                    if fluid is not None and fluid.active:
+                        fluid.advance_to(until)
                     self._now = until
         finally:
             self._running = False
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1): a
+        live counter tracks cancellations instead of scanning)."""
+        return len(self._queue) - self._cancelled_queued
 
     def attach_metrics(self, registry) -> None:
         """Publish kernel health through an obs registry (pull-mode
@@ -152,6 +235,10 @@ class Simulator:
         registry.gauge(
             "sim.pending_events", "Live events still queued",
         ).set_function(self.pending)
+        registry.gauge(
+            "sim.heap_compactions",
+            "Times the event heap was compacted of cancelled handles",
+        ).set_function(lambda: self.heap_compactions)
 
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.6f} pending={self.pending()}>"

@@ -112,6 +112,7 @@ class TcpConnection:
             on_close=on_close,
         )
         conn.state = cls.SYN_SENT
+        conn._fluid_block()
         conn._emit(flags="S")
         conn._arm_rto()
         return conn
@@ -242,6 +243,8 @@ class TcpConnection:
     def _on_syn(self) -> None:
         """Server side: a SYN arrived (listener dispatches to us)."""
         if self.state in (self.CLOSED, self.SYN_RECEIVED):
+            if self.state == self.CLOSED:
+                self._fluid_block()
             self.state = self.SYN_RECEIVED
             self._emit(flags="SA", seq=0, ack=False)
 
@@ -336,11 +339,24 @@ class TcpConnection:
         if self.state == self.CLOSED:
             return
         self.state = self.CLOSED
+        self._fluid_unblock()
         if self._rto_timer is not None:
             self._rto_timer.cancel()
             self._rto_timer = None
         if self.on_close is not None:
             self.on_close(self)
+
+    def _fluid_block(self) -> None:
+        """TCP's RTO/ack timing is stateful per packet: a live
+        connection pins the whole simulation at packet fidelity."""
+        fluid = getattr(self.host.sim, "fluid", None)
+        if fluid is not None:
+            fluid.tcp_opened(self)
+
+    def _fluid_unblock(self) -> None:
+        fluid = getattr(self.host.sim, "fluid", None)
+        if fluid is not None:
+            fluid.tcp_closed(self)
 
 
 class TcpListener:

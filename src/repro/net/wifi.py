@@ -65,14 +65,17 @@ class WirelessLink(Link):
             from_port.tx_drops += 1
             return False
         direction = self._directions[id(from_port)]
-        if direction.queued >= self.queue_packets:
+        now = self.sim.now
+        # Same drop-tail semantics as the wired link: a buffer slot is
+        # held until the frame's airtime completes, not until it has
+        # also crossed the propagation delay.
+        if direction.occupancy(now) >= self.queue_packets:
             direction.dropped += 1
             from_port.tx_drops += 1
             return False
-        now = self.sim.now
         done = self.medium.reserve(now, frame.size)
         direction.next_free = done
-        direction.queued += 1
+        direction.pending_done.append(done)
         direction.busy_time += frame.size * 8.0 / self.medium.bandwidth_bps
         direction.tx_packets += 1
         direction.tx_bytes += frame.size
@@ -83,6 +86,14 @@ class WirelessLink(Link):
             done + self.delay_s, self._deliver, frame, from_port, to_port
         )
         return True
+
+    def fluid_plan(self, from_port, packet_size: int, arrival_offset_s: float):
+        # Same wired-counter plan, plus the shared radio: fluid_apply
+        # then accounts airtime and advances the radio's serialization
+        # clock alongside the per-direction one.
+        plan = super().fluid_plan(from_port, packet_size, arrival_offset_s)
+        plan.medium = self.medium
+        return plan
 
 
 class WifiAccessPoint(OpenFlowSwitch):

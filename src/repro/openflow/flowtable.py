@@ -371,6 +371,63 @@ class FlowTable:
             self.wildcard_hits += 1
         return best
 
+    def peek(self, frame: Ethernet, in_port: int, now: float) -> Optional[FlowEntry]:
+        """The entry :meth:`lookup` would return, with no side effects.
+
+        No counters are touched, no expired entries evicted, and no
+        stats recorded -- entries observed expired are simply skipped.
+        The fluid fast-forward kernel uses this to walk a flow's
+        forwarding path without perturbing datapath state.
+        """
+        best: Optional[FlowEntry] = None
+        bucket = self._exact.get(frame_index_key(frame, in_port))
+        if bucket:
+            for entry in bucket:
+                if entry.expired(now):
+                    continue
+                if (best is None or _order_key(entry) < _order_key(best)) \
+                        and entry.match.matches(frame, in_port):
+                    best = entry
+        if self._wild:
+            limit = _order_key(best) if best is not None else None
+            for entry in self._wild:
+                if limit is not None and _order_key(entry) > limit:
+                    break
+                if entry.expired(now):
+                    continue
+                if entry.match.matches(frame, in_port):
+                    best = entry
+                    break
+        return best
+
+    def record_fluid_hits(
+        self, entry: FlowEntry, packets: int, total_bytes: int,
+        last_seen: float, exact: Optional[bool] = None,
+    ) -> None:
+        """Fold analytically advanced traffic into an entry's counters.
+
+        Mirrors what ``packets`` calls of :meth:`lookup` would have
+        accumulated: per-entry packet/byte counts, the idle-timeout
+        refresh, and the table's hit statistics.  ``last_seen`` is the
+        arrival time of the final analytic packet at this table;
+        ``exact`` lets the caller precompute the entry's index class
+        once per suspension instead of per advance.
+        """
+        if packets <= 0:
+            return
+        entry.packets += packets
+        entry.bytes += total_bytes
+        if last_seen > entry.last_used_at:
+            entry.last_used_at = last_seen
+        self.lookups += packets
+        self.matched += packets
+        if exact is None:
+            exact = entry.match.exact_index_key() is not None
+        if exact:
+            self.exact_hits += packets
+        else:
+            self.wildcard_hits += packets
+
     def _lookup_linear(
         self, frame: Ethernet, in_port: int, now: float
     ) -> Optional[FlowEntry]:

@@ -296,6 +296,14 @@ class OpenFlowSwitch(Node):
     def handle_of_message(self, message: msg.Message) -> None:
         """Process a controller-to-switch message."""
         if isinstance(message, msg.FlowMod):
+            # A rule change can invalidate any fast-forwarded path; the
+            # fluid region (if any) must replay affected flows at
+            # packet fidelity from this instant on.  PacketOuts and
+            # stats polls deliberately do NOT materialize: LLDP beacons
+            # and monitor sweeps are periodic background chatter.
+            fluid = getattr(self.sim, "fluid", None)
+            if fluid is not None:
+                fluid.materialize_all("flowmod")
             self._handle_flow_mod(message)
         elif isinstance(message, msg.PacketOut):
             self._handle_packet_out(message)

@@ -105,6 +105,12 @@ class TrafficFlow:
         self._started_at = self.sim.now
         if self.duration_s is not None:
             self._stop_at = self.sim.now + self.duration_s
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            # A new flow's first packet must punt to the controller at
+            # packet fidelity: resume everything, then register as a
+            # fast-forward candidate.
+            fluid.flow_started(self)
         self._emit()
 
     def stop(self) -> None:
@@ -112,6 +118,21 @@ class TrafficFlow:
         if self._pending is not None:
             self._pending.cancel()
             self._pending = None
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            fluid.flow_stopped(self)
+
+    def paced_at(self, index: int) -> float:
+        """The absolute emission time of the ``index``-th packet.
+
+        Pacing is anchored to the flow's start: packet *k* goes out at
+        ``_started_at + k * interval_s``.  Scheduling each packet
+        relative to the previous one accumulated float error over long
+        horizons (a 60 s flow drifted packets short); both the emit
+        path and the fluid kernel's analytic advance evaluate this same
+        expression, so they agree bit-for-bit.
+        """
+        return self._started_at + index * self.interval_s
 
     def _emit(self) -> None:
         if not self.running:
@@ -136,7 +157,9 @@ class TrafficFlow:
             )
         self.packets_sent += 1
         self.bytes_sent += self.packet_size
-        self._pending = self.sim.schedule(self.interval_s, self._emit)
+        self._pending = self.sim.schedule_at(
+            max(self.sim.now, self.paced_at(self.packets_sent)), self._emit
+        )
 
     # Subclass hooks -----------------------------------------------------
 
@@ -271,7 +294,9 @@ class PortScanFlow(TrafficFlow):
         )
         self.packets_sent += 1
         self.bytes_sent += self.packet_size
-        self._pending = self.sim.schedule(self.interval_s, self._emit)
+        self._pending = self.sim.schedule_at(
+            max(self.sim.now, self.paced_at(self.packets_sent)), self._emit
+        )
 
 
 class VirusDownloadFlow(HttpFlow):
