@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-smoke lint stats-smoke chaos-smoke \
 	chaos-determinism accountability-smoke replay-smoke policy-smoke \
-	shard-smoke fluid-smoke examples all
+	shard-smoke fluid-smoke ops-smoke examples all
 
 install:
 	python setup.py develop
@@ -171,6 +171,25 @@ policy-smoke:
 		echo "policy reload digest mismatch: '$$a' vs '$$b'"; exit 1; \
 	else \
 		echo "policy hot-reload OK, digest-stable ($$a)"; \
+	fi
+
+# Runtime app operations end to end: boot a deployment, stop ->
+# reload -> start the monitor app mid-traffic, record the event log,
+# and replay the session journal from disk (the CLI itself exits
+# non-zero if the replayed digest diverges from the live one).  Run
+# twice: the journal digest must be identical across same-seed runs.
+ops-smoke:
+	@PYTHONPATH=src python -m repro ops --action cycle \
+		--record /tmp/ops-a.jsonl | tee /tmp/ops-a.txt
+	@PYTHONPATH=src python -m repro ops --action cycle \
+		--record /tmp/ops-b.jsonl | tee /tmp/ops-b.txt
+	@PYTHONPATH=src python -m repro journal /tmp/ops-a.jsonl --digest-only
+	@a=$$(grep -o 'journal digest [0-9a-f]\{64\}' /tmp/ops-a.txt); \
+	b=$$(grep -o 'journal digest [0-9a-f]\{64\}' /tmp/ops-b.txt); \
+	if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+		echo "ops journal digest mismatch: '$$a' vs '$$b'"; exit 1; \
+	else \
+		echo "ops lifecycle OK, journal digest-stable ($$a)"; \
 	fi
 
 examples:

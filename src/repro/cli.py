@@ -444,6 +444,154 @@ def cmd_policy_reload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ops(args: argparse.Namespace) -> int:
+    """Runtime app operations, live: boot the demo deployment, keep
+    traffic flowing, and stop/reload/restart a controller app mid-run.
+    Prints the typed per-app status table and the session journal's
+    stable digest (the ``make ops-smoke`` determinism anchor)."""
+    from repro.core.journal import SessionJournal
+    from repro.workloads import HttpFlow
+
+    net = build_livesec_network(
+        topology="linear", policies=_ids_policies(),
+        num_as=2, hosts_per_as=2,
+    )
+    net.add_element("ids", net.topology.as_switches[0])
+    net.start()
+    journal = SessionJournal.attach(net.controller.log)
+    controller = net.controller
+    hosts = [h for h in net.topology.hosts if h is not net.topology.gateway]
+    flows = [
+        HttpFlow(net.sim, host, GATEWAY_IP, rate_bps=2e6,
+                 packet_size=1500).start(delay_s=offset * 0.05)
+        for offset, host in enumerate(hosts)
+    ]
+    third = max(0.5, args.seconds / 3.0)
+    net.run(third)
+    actions: List[str] = []
+    if args.action in ("stop", "cycle"):
+        controller.stop_app(args.app)
+        actions.append(f"stopped {args.app!r}")
+        net.run(third)
+    if args.action in ("reload", "cycle"):
+        # A genuinely changed config where the app has a knob to turn
+        # (the monitor's poll cadence); otherwise the same config, so
+        # the hash check demonstrates the no-op skip.
+        app = controller.app(args.app)
+        config = dict(app.config)
+        if args.app == "monitor":
+            base = config.get("stats_interval_s") or 1.0
+            config["stats_interval_s"] = base / 2
+        before = app.config_hash()
+        reloaded = controller.reload_app(args.app, config)
+        if reloaded.config_hash() == before and reloaded is app:
+            actions.append(f"reload of {args.app!r} skipped (same config)")
+        else:
+            actions.append(f"reloaded {args.app!r} with changed config")
+    if args.action in ("restart", "cycle"):
+        controller.start_app(args.app)
+        actions.append(f"started {args.app!r}")
+    net.run(max(0.0, args.seconds - 2 * third) + third)
+    for flow in flows:
+        flow.stop()
+    net.run(controller.idle_timeout_s + 1.0)
+
+    statuses = controller.app_status()
+    if args.format == "json":
+        import json
+
+        print(json.dumps({
+            "actions": actions,
+            "apps": [s.to_dict() for s in statuses.values()],
+            "journal": journal.summary(),
+            "journal_digest": journal.digest(),
+        }, indent=2))
+    else:
+        for action in actions:
+            print(f"ops: {action}")
+        print("app                 state        subs timers events"
+              "  config")
+        for status in statuses.values():
+            print(f"{status.name:<19} {status.state:<12}"
+                  f" {status.subscriptions:>4} {status.timers:>6}"
+                  f" {status.events_handled:>6}"
+                  f"  {status.config_hash[:10]}")
+        summary = journal.summary()
+        print(f"journal: {summary['records']} records over"
+              f" {summary['sessions']} sessions"
+              f" (open={summary['open']} close={summary['close']}"
+              f" failover={summary['failover']}"
+              f" still-open={summary['still_open']})")
+        print(f"journal digest {journal.digest()}")
+    if args.record:
+        count = controller.log.save(args.record)
+        replayed = SessionJournal.replay(args.record)
+        verdict = (
+            "replay digest matches"
+            if replayed.digest() == journal.digest()
+            else "REPLAY DIGEST MISMATCH"
+        )
+        print(f"recorded {count} events to {args.record} ({verdict})")
+        if replayed.digest() != journal.digest():
+            return 1
+    return 0
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    """Replay a recorded deployment's session history end to end."""
+    from repro.core.journal import SessionJournal
+
+    journal = SessionJournal.replay(args.file)
+    if args.digest_only:
+        print(f"{len(journal)} records, journal digest {journal.digest()}")
+        return 0
+    if args.format == "json":
+        import json
+
+        records = journal.records()
+        if args.session is not None:
+            records = [r for r in records if r.session == args.session]
+        print(json.dumps({
+            "summary": journal.summary(),
+            "records": [
+                {"time": r.time, "session": r.session,
+                 "action": r.action, "detail": r.detail}
+                for r in records
+            ],
+            "digest": journal.digest(),
+        }, indent=2))
+        return 0
+    if args.session is not None:
+        history = journal.session(args.session)
+        if history is None:
+            print(f"no session {args.session} in {args.file}",
+                  file=sys.stderr)
+            return 1
+        for record in history.records:
+            detail = " ".join(
+                f"{k}={v}" for k, v in sorted(record.detail.items())
+            )
+            print(f"t={record.time:9.4f}s  {record.action:<9} {detail}")
+        return 0
+    summary = journal.summary()
+    print(f"{args.file}: {summary['records']} journal records,"
+          f" {summary['sessions']} sessions")
+    for history in journal.sessions():
+        opened = (
+            f"opened t={history.opened_at:.3f}s"
+            if history.opened_at is not None else "opened before window"
+        )
+        closed = (
+            f"closed t={history.closed_at:.3f}s"
+            if history.closed_at is not None else "still open"
+        )
+        print(f"  session {history.session_id}:"
+              f" {'/'.join(history.actions())}"
+              f" ({opened}, {closed})")
+    print(f"journal digest {journal.digest()}")
+    return 0
+
+
 def cmd_shards(args: argparse.Namespace) -> int:
     """Boot a sharded control plane, run a little traffic, and print
     the coordinator's fabric view: ownership, liveness, per-shard NIB
@@ -708,6 +856,41 @@ def build_parser() -> argparse.ArgumentParser:
     shards.add_argument("--format", default="text",
                         choices=["text", "json"])
     shards.set_defaults(func=cmd_shards)
+
+    ops = sub.add_parser(
+        "ops",
+        help="runtime app operations: live status, stop/reload/restart"
+             " an app mid-traffic, session-journal digest",
+    )
+    ops.add_argument("--app", default="monitor",
+                     help="target app name (default: monitor)")
+    ops.add_argument("--action", default="status",
+                     choices=["status", "stop", "reload", "restart",
+                              "cycle"],
+                     help="what to do mid-traffic; 'cycle' runs"
+                          " stop -> reload (changed config) -> start")
+    ops.add_argument("--seconds", type=float, default=3.0,
+                     help="total simulated traffic window (default 3)")
+    ops.add_argument("--format", default="text", choices=["text", "json"])
+    ops.add_argument("--record", metavar="PATH", default=None,
+                     help="save the event log as JSONL and verify the"
+                          " journal replays to the same digest")
+    ops.set_defaults(func=cmd_ops)
+
+    journal = sub.add_parser(
+        "journal",
+        help="replay a recorded run's session journal end to end",
+    )
+    journal.add_argument("file", help="JSONL event-log file (from"
+                                      " 'ops --record' or EventLog.save)")
+    journal.add_argument("--session", type=int, default=None,
+                         help="show one session's full history")
+    journal.add_argument("--format", default="text",
+                         choices=["text", "json"])
+    journal.add_argument("--digest-only", action="store_true",
+                         dest="digest_only",
+                         help="print only the record count and digest")
+    journal.set_defaults(func=cmd_journal)
 
     apps = sub.add_parser(
         "apps",

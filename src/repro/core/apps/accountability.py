@@ -73,7 +73,7 @@ class AccountabilityApp(App):
         )
 
     def start(self) -> None:
-        self.ctx.sim.every(AUDIT_INTERVAL_S, self._audit)
+        self.every(AUDIT_INTERVAL_S, self._audit)
 
     # ------------------------------------------------------------------
     # Evidence intake

@@ -1,4 +1,4 @@
-"""The app framework: shared context and the App base class.
+"""The app framework: shared context, the App base class, lifecycle.
 
 A LiveSec *app* is one cohesive slice of control logic (host tracking,
 steering, monitoring, ...) wired onto the controller's event bus.  The
@@ -14,6 +14,23 @@ Apps talk to each other two ways:
 * **peer calls** for request/response (``self.peer("host-tracker")``)
   when the caller needs a return value, e.g. learning a host.
 
+Every app has a *runtime lifecycle*: wiring (:meth:`App.listen`) and
+timers (:meth:`App.every`) are retained so :meth:`App.stop` can undo
+them completely -- after a stop, no bus subscription and no periodic
+callback of the app survives.  The lifecycle state machine is
+
+    constructed --start()--> running --stop()--> stopped
+                               |
+                          (crash_app)
+                               v
+                            crashed
+
+and :meth:`App.status` renders the current state as a typed
+:class:`ServiceStatus` row (the ``python -m repro ops`` view).  Each
+app carries its construction ``config`` (the kwargs the composition
+root or a reload passed), hashed canonically so the controller can
+skip no-op reloads.
+
 Every app counts the events it handles in its own metric namespace
 (``app.<name>.events{event=...}``); the ``python -m repro apps``
 command renders those counters next to the subscription table.
@@ -21,13 +38,67 @@ command renders those counters next to the subscription table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Type
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
 
 from repro.core.bus import EventBus, Subscription
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.controller import LiveSecController
+
+#: Lifecycle states an app moves through.
+APP_CONSTRUCTED = "constructed"
+APP_RUNNING = "running"
+APP_STOPPED = "stopped"
+APP_CRASHED = "crashed"
+
+
+def config_hash(config: Dict[str, object]) -> str:
+    """sha256 over the canonical JSON form of an app config dict.
+
+    Canonical (sorted keys, no whitespace, repr fallback) so two
+    equal configs always hash equal and a reload with an unchanged
+    config can be detected and skipped.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ServiceStatus:
+    """One app's typed runtime-operations row (``repro ops``).
+
+    ``state`` is one of the lifecycle states above; ``subscriptions``
+    and ``timers`` count the app's live bus edges and periodic series;
+    ``events_handled`` sums the per-event dispatch counters;
+    ``config`` and ``config_hash`` describe the construction kwargs
+    the reload check compares against.
+    """
+
+    name: str
+    state: str
+    subscriptions: int
+    timers: int
+    events_handled: int
+    started_at: Optional[float]
+    config: Dict[str, object] = field(default_factory=dict)
+    config_hash: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "subscriptions": self.subscriptions,
+            "timers": self.timers,
+            "events_handled": self.events_handled,
+            "started_at": self.started_at,
+            "config": dict(self.config),
+            "config_hash": self.config_hash,
+        }
 
 
 @dataclass
@@ -61,7 +132,9 @@ class App:
     ``__init__`` via :meth:`listen`, and register periodic work in
     :meth:`start` (called by the composition root after every app is
     constructed, in a fixed order -- timer registration order is part
-    of the deterministic dispatch contract).
+    of the deterministic dispatch contract).  Timers must go through
+    :meth:`every` -- never ``ctx.sim.every`` directly -- so a stopped
+    app never fires a late periodic callback.
     """
 
     name: str = "app"
@@ -70,6 +143,15 @@ class App:
         self.ctx = ctx
         self._event_counters: Dict[str, object] = {}
         self._subscriptions: List[Subscription] = []
+        # Lifecycle: retained unsubscribe callables and timer handles,
+        # so stop() can fully unwire the app.
+        self._unsubscribes: List[Callable[[], None]] = []
+        self._timers: List[object] = []  # EventHandles from every()
+        self.state = APP_CONSTRUCTED
+        self.started_at: Optional[float] = None
+        # The construction kwargs, recorded by subclasses with knobs
+        # (the controller reconstructs from this on restart/reload).
+        self.config: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Wiring helpers
@@ -79,7 +161,8 @@ class App:
         priority: int = 0,
     ) -> None:
         """Subscribe ``handler`` to ``event_type`` on the bus, counting
-        every delivery in this app's metric namespace."""
+        every delivery in this app's metric namespace.  The returned
+        unsubscribe callable is retained for :meth:`stop`."""
         event_name = event_type.__name__
         counter = self.ctx.metrics.counter(
             f"app.{self.name}.events",
@@ -93,19 +176,58 @@ class App:
             _handler(event)
 
         counted.__name__ = getattr(handler, "__name__", "handler")
-        self.ctx.bus.subscribe(
+        self._unsubscribes.append(self.ctx.bus.subscribe(
             event_type, counted, app=self.name, priority=priority
-        )
+        ))
+
+    def every(self, interval: float, callback: Callable, *args,
+              **kwargs) -> object:
+        """Register a periodic timer owned by this app's lifecycle.
+
+        Thin wrapper over ``ctx.sim.every`` that retains the series
+        handle so :meth:`stop` cancels it.  All app timers -- whether
+        registered in :meth:`start` or lazily from a handler -- must
+        come through here.
+        """
+        handle = self.ctx.sim.every(interval, callback, *args, **kwargs)
+        self._timers.append(handle)
+        return handle
 
     def peer(self, name: str) -> "App":
         """Another app by name (request/response style coupling)."""
         return self.ctx.controller.app(name)
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+
     def start(self) -> None:
         """Register periodic timers; called once after wiring."""
 
+    def _mark_started(self) -> None:
+        """Transition to running (the controller calls this around
+        :meth:`start` so subclasses don't repeat the bookkeeping)."""
+        self.state = APP_RUNNING
+        self.started_at = self.ctx.sim.now
+
+    def stop(self) -> None:
+        """Unwire the app completely: every bus subscription is
+        removed and every periodic timer cancelled.  Idempotent.
+        Shared state the app wrote (NIB rows, sessions) is left to its
+        peers -- stopping an observer must not perturb the data path.
+        """
+        self._teardown(APP_STOPPED)
+
+    def _teardown(self, final_state: str) -> None:
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+        self.state = final_state
+
     # ------------------------------------------------------------------
-    # Introspection (the ``apps`` CLI command renders these)
+    # Introspection (the ``apps`` / ``ops`` CLI commands render these)
 
     def counters(self) -> Dict[str, int]:
         """Per-event handled counts, by event type name."""
@@ -121,12 +243,30 @@ class App:
             if sub.app == self.name
         ]
 
+    def config_hash(self) -> str:
+        """Canonical hash of this app's construction config."""
+        return config_hash(self.config)
+
+    def status(self) -> ServiceStatus:
+        """The typed runtime-operations row for this app."""
+        return ServiceStatus(
+            name=self.name,
+            state=self.state,
+            subscriptions=len(self._unsubscribes),
+            timers=len(self._timers),
+            events_handled=sum(self.counters().values()),
+            started_at=self.started_at,
+            config=dict(self.config),
+            config_hash=self.config_hash(),
+        )
+
     def describe(self) -> dict:
         """One JSON-friendly overview row for the ``apps`` command."""
         doc = (self.__doc__ or "").strip().splitlines()
         return {
             "name": self.name,
             "summary": doc[0] if doc else "",
+            "state": self.state,
             "subscriptions": [
                 {
                     "event": sub.event,

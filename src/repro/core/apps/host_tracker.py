@@ -42,10 +42,8 @@ class HostTrackerApp(App):
         self.listen(UplinksLost, self.on_uplinks_lost, priority=10)
 
     def start(self) -> None:
-        self.ctx.sim.every(HOST_EXPIRY_INTERVAL_S, self.expire_hosts)
-        self.ctx.sim.every(
-            ANNOUNCE_REFRESH_INTERVAL_S, self.refresh_announcements
-        )
+        self.every(HOST_EXPIRY_INTERVAL_S, self.expire_hosts)
+        self.every(ANNOUNCE_REFRESH_INTERVAL_S, self.refresh_announcements)
 
     # ------------------------------------------------------------------
     # Periphery classification

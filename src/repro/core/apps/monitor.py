@@ -29,6 +29,7 @@ class MonitorApp(App):
     ):
         super().__init__(ctx)
         self.stats_interval_s = stats_interval_s
+        self.config = {"stats_interval_s": stats_interval_s}
         self._port_capacity: Dict[Tuple[int, int], float] = {}
         self._last_port_sample: Dict[Tuple[int, int], Tuple[int, float]] = {}
         self._flow_stats_listeners: list = []
@@ -42,7 +43,7 @@ class MonitorApp(App):
 
     def start(self) -> None:
         if self.stats_interval_s is not None:
-            self.ctx.sim.every(self.stats_interval_s, self.poll_stats)
+            self.every(self.stats_interval_s, self.poll_stats)
 
     # ------------------------------------------------------------------
     # Port stats -> link load

@@ -43,7 +43,7 @@ class ServiceDirectoryApp(App):
         self.listen(ServiceFrameIn, self.on_service_frame)
 
     def start(self) -> None:
-        self.ctx.sim.every(REGISTRY_EXPIRY_INTERVAL_S, self.expire_elements)
+        self.every(REGISTRY_EXPIRY_INTERVAL_S, self.expire_elements)
 
     # ------------------------------------------------------------------
     # Wire messages

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.apps.base import App, AppContext
 from repro.core.bus import (
+    AppLifecycleChanged,
     BarrierReplyIn,
     DataPacketIn,
     ElementExpired,
@@ -67,6 +68,10 @@ class SteeringApp(App):
         install_batching: bool = True,
     ):
         super().__init__(ctx)
+        self.config = {
+            "install_timeout_s": install_timeout_s,
+            "install_batching": install_batching,
+        }
         self.pipeline = InstallPipeline(
             ctx.controller,
             timeout_s=install_timeout_s,
@@ -97,6 +102,7 @@ class SteeringApp(App):
         self.listen(SwitchQuarantined, self.on_switch_quarantined)
         self.listen(SessionHandoffIn, self.on_session_handoff)
         self.listen(RemoteRuleOpIn, self.on_remote_rule_op)
+        self.listen(AppLifecycleChanged, self.on_app_lifecycle)
 
     def _setup_metrics(self) -> None:
         registry = self.ctx.metrics
@@ -267,7 +273,10 @@ class SteeringApp(App):
         # punts and re-forms the session from the other side).
         reverse[0] = dc_replace(reverse[0], send_flow_removed=False)
         descriptor = None
-        if self.ctx.controller.accountability_enabled:
+        # Gate on *active*, not merely enabled: a stopped or crashed
+        # accountability app must not keep collecting proof obligations
+        # nobody will ever audit.
+        if self.ctx.controller.accountability_active():
             forward, descriptor = self._decorate_accountability(
                 forward, session_id
             )
@@ -531,6 +540,57 @@ class SteeringApp(App):
         interactive model re-consults policy on the *next* first packet,
         not retroactively."""
         self.rule_cache.clear()
+
+    def on_app_lifecycle(self, event: AppLifecycleChanged) -> None:
+        """A peer app was stopped/reloaded/removed at runtime.
+
+        The memoized path rules may embed facts the departed app
+        owned, so the cache is invalidated wholesale; and when the
+        *accountability* app leaves, sessions still carrying its proof
+        obligations are drained onto undecorated rules -- waypoint
+        logic must not outlive the app that audits it."""
+        if event.app == self.name:
+            return
+        self.rule_cache.clear()
+        if event.app == "accountability" and event.action in (
+            "stopped", "removed", "crash-detected"
+        ):
+            self._drain_accountability()
+
+    def _drain_accountability(self) -> None:
+        """Strip path-proof decoration from every accountable session.
+
+        Each session's rules are recomputed with the accountability
+        gate now off and swapped in place (same chain, same ingress
+        entry -- traffic keeps flowing, just untagged), and its
+        descriptor is dropped so a later accountability restart starts
+        from a clean slate instead of auditing sessions whose proof
+        chain it never armed."""
+        for session in list(self.ctx.sessions):
+            if session.path_descriptor is None or session.blocked:
+                continue
+            src = self.ctx.nib.host_by_mac(session.src_mac)
+            dst = self.ctx.nib.host_by_mac(session.dst_mac)
+            waypoints = [
+                self.ctx.nib.host_by_mac(mac)
+                for mac in session.element_macs
+            ]
+            policy = self.ctx.policies.get(session.policy_name)
+            if src is None or dst is None or None in waypoints:
+                # The path can't be recomputed (a endpoint or waypoint
+                # left the NIB); at minimum stop expecting proofs.
+                session.path_descriptor = None
+                continue
+            try:
+                new_rules, descriptor = self._compute_session_rules(
+                    session.flow, src, dst, waypoints, policy,
+                    session.session_id,
+                )
+            except RoutingError:
+                session.path_descriptor = None
+                continue
+            self._replace_session_rules(session, new_rules)
+            session.path_descriptor = descriptor
 
     # ==================================================================
     # Switch lifecycle: resync and install-abort

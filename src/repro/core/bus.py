@@ -57,6 +57,7 @@ __all__ = [
     "SwitchQuarantined",
     "SessionHandoffIn",
     "RemoteRuleOpIn",
+    "AppLifecycleChanged",
 ]
 
 
@@ -288,6 +289,24 @@ class SessionHandoffIn:
 
 
 @dataclass(frozen=True, eq=False)
+class AppLifecycleChanged:
+    """A controller app changed lifecycle state at runtime.
+
+    ``action`` is one of ``started``/``stopped``/``reloaded``/
+    ``removed``/``crash-detected``/``restarted``.  Steering reacts by
+    invalidating caches and draining state owned by the departed app;
+    the shard fabric surfaces per-shard app churn through it.  The
+    ``app`` attribute names the app; ``status`` is its typed
+    :class:`~repro.core.apps.base.ServiceStatus` at publish time (None
+    once an app is removed outright).
+    """
+
+    app: str
+    action: str
+    status: Optional[object] = None  # ServiceStatus
+
+
+@dataclass(frozen=True, eq=False)
 class RemoteRuleOpIn:
     """Another shard asked this one -- the owner of the rule's
     datapath -- to install or delete a flow rule (carries the
@@ -347,6 +366,11 @@ class EventBus:
         edges.sort(key=lambda e: (e.priority, e.seq))
 
         def unsubscribe() -> None:
+            # The removed flag (checked by in-flight publishes) makes
+            # unsubscribing from inside a handler safe: the snapshot a
+            # running publish iterates may still hold this edge, but it
+            # will no longer be dispatched at that depth.
+            edge.removed = True
             try:
                 edges.remove(edge)
             except ValueError:
@@ -371,10 +395,33 @@ class EventBus:
         if not edges:
             return 0
         delivered = 0
+        # Iterate a snapshot so handlers may subscribe/unsubscribe
+        # freely: a subscriber added during this publish first fires on
+        # the *next* event, and one removed during this publish is
+        # skipped (the removed flag) -- every remaining subscriber at
+        # this depth runs exactly once, never twice, never skipped.
         for edge in list(edges):
+            if edge.removed:
+                continue
             edge.handler(event)
             delivered += 1
         return delivered
+
+    def unsubscribe_app(self, app: str) -> int:
+        """Remove every subscription edge registered under ``app``.
+
+        The rollback path for transactional app registration: when an
+        app's constructor raises partway through wiring, the partially
+        registered handlers are unreachable through the app object, but
+        they still carry its name.  Returns how many edges were removed.
+        """
+        removed = 0
+        for edges in self._handlers.values():
+            for edge in [e for e in edges if e.app == app]:
+                edge.removed = True
+                edges.remove(edge)
+                removed += 1
+        return removed
 
     def subscriptions(self) -> List[Subscription]:
         """Every subscription edge, in deterministic dispatch order."""
@@ -399,4 +446,5 @@ class _Edge:
     seq: int
     handler: Callable[[object], None]
     app: str = "?"
+    removed: bool = False
     extras: dict = field(default_factory=dict, repr=False)

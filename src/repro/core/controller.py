@@ -49,6 +49,13 @@ from repro.core.apps import (
     SteeringApp,
     TopologyApp,
 )
+from repro.core.apps.base import (
+    APP_CRASHED,
+    APP_RUNNING,
+    APP_STOPPED,
+    ServiceStatus,
+    config_hash,
+)
 from repro.core.apps.host_tracker import (
     ANNOUNCE_MIN_GAP_S,
     ANNOUNCE_REFRESH_INTERVAL_S,
@@ -58,6 +65,7 @@ from repro.core.apps.monitor import DEFAULT_STATS_INTERVAL_S
 from repro.core.apps.service_directory import REGISTRY_EXPIRY_INTERVAL_S
 from repro.core.apps.steering import FAILOVER_OUTCOMES
 from repro.core.bus import (
+    AppLifecycleChanged,
     ArpIn,
     BarrierReplyIn,
     DataPacketIn,
@@ -76,7 +84,7 @@ from repro.core.bus import (
     TaggedPacketIn,
 )
 from repro.core.directory import DirectoryProxy
-from repro.core.events import EventLog
+from repro.core.events import EventKind, EventLog
 from repro.core.introspection import (
     LEGACY_COUNTER_NAMES,
     ControllerStatus,
@@ -105,6 +113,8 @@ from repro.openflow.pipeline import (
 __all__ = [
     "LiveSecController",
     "ControllerStatus",
+    "ServiceStatus",
+    "DEFAULT_WATCHDOG_INTERVAL_S",
     "CountersView",
     "LEGACY_COUNTER_NAMES",
     "FAILOVER_OUTCOMES",
@@ -121,6 +131,8 @@ __all__ = [
 
 DEFAULT_SECRET = "livesec-deployment-secret"
 DEFAULT_IDLE_TIMEOUT_S = 5.0
+#: How often the opt-in app watchdog scans for crashed apps.
+DEFAULT_WATCHDOG_INTERVAL_S = 0.5
 
 
 class LiveSecController(ControllerBase):
@@ -229,8 +241,17 @@ class LiveSecController(ControllerBase):
         if accountability:
             app = AccountabilityApp(ctx)
             self._apps[app.name] = app
+        # Built-ins start silently (no lifecycle events): their wiring
+        # predates the runtime-ops surface and existing deterministic
+        # digests must not grow records from construction alone.
         for app in self._apps.values():
             app.start()
+            app._mark_started()
+        # The app watchdog (crash detection + restart) is opt-in: an
+        # always-ticking timer would perturb existing deterministic
+        # schedules.  Armed by start_app_watchdog() -- the fault
+        # injector and the ops CLI call it.
+        self._app_watchdog = None
         # Policy lifecycle: table commits become bus events (apps react:
         # policy-engine logs, steering invalidates its path cache,
         # monitor counts), and the table's version/deprecation gauges
@@ -250,21 +271,197 @@ class LiveSecController(ControllerBase):
         """One app by its :attr:`~repro.core.apps.base.App.name`."""
         return self._apps[name]
 
-    def add_app(self, factory: Callable[[AppContext], App]) -> App:
-        """Construct, register and start an extra app.
+    def add_app(
+        self,
+        factory: Callable[[AppContext], App],
+        config: Optional[Dict[str, object]] = None,
+    ) -> App:
+        """Construct, register and start an extra app -- transactionally.
 
         ``factory`` (typically the :class:`App` subclass itself) is
-        called with this controller's :class:`AppContext`.  The app
-        subscribes after the built-ins, so at equal priority it sees
-        each event last -- extensions observe, the stock pipeline
-        decides.
+        called with this controller's :class:`AppContext` plus any
+        ``config`` kwargs.  The app subscribes after the built-ins, so
+        at equal priority it sees each event last -- extensions
+        observe, the stock pipeline decides.
+
+        Registration is construct -> register -> start with rollback:
+        a duplicate name or a failing ``start()`` tears down everything
+        the constructor wired (bus subscriptions *and* timers), and a
+        constructor that raises partway has its partial subscriptions
+        purged by name -- a failed ``add_app`` leaves the bus exactly
+        as it was.
         """
-        app = factory(self._app_ctx)
+        config = dict(config or {})
+        try:
+            app = factory(self._app_ctx, **config)
+        except Exception:
+            # The object is unreachable, but any subscriptions it got
+            # as far as wiring still carry the class's app name.
+            name = getattr(factory, "name", None)
+            if isinstance(name, str):
+                self.bus.unsubscribe_app(name)
+            raise
         if app.name in self._apps:
+            app._teardown(APP_STOPPED)
             raise ValueError(f"app {app.name!r} already registered")
         self._apps[app.name] = app
-        app.start()
+        try:
+            app.start()
+        except Exception:
+            del self._apps[app.name]
+            app._teardown(APP_STOPPED)
+            raise
+        app._mark_started()
+        if config and not app.config:
+            app.config = config
+        self._emit_lifecycle(app.name, "started", app.status())
         return app
+
+    # ==================================================================
+    # Runtime operations (the LiveSec "interactive management" premise:
+    # apps are reconfigurable while the network keeps serving)
+
+    def _emit_lifecycle(
+        self, name: str, action: str, status: Optional[ServiceStatus]
+    ) -> None:
+        """Publish an app lifecycle transition: typed bus event for the
+        apps (steering drains, sharding surfaces churn) plus an
+        APP_LIFECYCLE event-log record for the journal/digest."""
+        self.bus.publish(
+            AppLifecycleChanged(app=name, action=action, status=status)
+        )
+        self.log.emit(
+            self.sim.now,
+            EventKind.APP_LIFECYCLE,
+            app=name,
+            action=action,
+            state=status.state if status is not None else "removed",
+        )
+
+    def app_status(self) -> Dict[str, ServiceStatus]:
+        """Typed per-app runtime status, in registration order."""
+        return {name: app.status() for name, app in self._apps.items()}
+
+    def accountability_active(self) -> bool:
+        """Whether path-proof decoration should be applied to new
+        sessions: accountability was enabled at construction *and* the
+        accountability app is currently running (not stopped/crashed)."""
+        if not self.accountability_enabled:
+            return False
+        app = self._apps.get("accountability")
+        return app is not None and app.state == APP_RUNNING
+
+    def stop_app(self, name: str) -> App:
+        """Stop a running app in place: every bus subscription removed,
+        every periodic timer cancelled.  The app stays registered (its
+        slot and config survive) so ``start_app`` can revive it."""
+        app = self._apps[name]
+        if app.state == APP_RUNNING:
+            app.stop()
+            self._emit_lifecycle(name, "stopped", app.status())
+        return app
+
+    def start_app(self, name: str) -> App:
+        """(Re)start a stopped or crashed app from its recorded config.
+
+        Wiring lives in app constructors, so revival reconstructs the
+        app; it re-subscribes at the back of the dispatch order for its
+        priority tier.  Running apps are left untouched.
+        """
+        app = self._apps[name]
+        if app.state == APP_RUNNING:
+            return app
+        return self._replace(name, dict(app.config), action="restarted")
+
+    def restart_app(self, name: str) -> App:
+        """Stop (if running) and reconstruct an app with its same
+        config -- the bounce that clears soft state."""
+        app = self._apps[name]
+        return self._replace(name, dict(app.config), action="restarted")
+
+    def reload_app(self, name: str, config: Dict[str, object]) -> App:
+        """Reconstruct an app with a new config, skipping no-ops.
+
+        The new config is hashed canonically; if it matches the running
+        app's hash, nothing happens and the running instance is
+        returned (a reload that changes nothing must not bounce
+        subscriptions or reset timers).
+        """
+        app = self._apps[name]
+        config = dict(config)
+        if app.state == APP_RUNNING and config_hash(config) == app.config_hash():
+            return app
+        return self._replace(name, config, action="reloaded")
+
+    def remove_app(self, name: str) -> App:
+        """Stop an app and drop it from the registry entirely."""
+        app = self._apps.pop(name)
+        if app.state == APP_RUNNING:
+            app.stop()
+        else:
+            app._teardown(APP_STOPPED)
+        self._emit_lifecycle(name, "removed", None)
+        return app
+
+    def crash_app(self, name: str) -> App:
+        """Simulate an app crash (the ``app_crash`` fault action): the
+        app's wiring vanishes silently -- no lifecycle event, exactly
+        like a real crash leaves no trace until the watchdog notices."""
+        app = self._apps[name]
+        app._teardown(APP_CRASHED)
+        return app
+
+    def start_app_watchdog(
+        self, interval_s: float = DEFAULT_WATCHDOG_INTERVAL_S
+    ):
+        """Arm the periodic crashed-app scan (idempotent).
+
+        Each tick, every app in state ``crashed`` is reported
+        (``crash-detected``, the TTD edge for fault scoring) and then
+        revived from its recorded config (``restarted``, the TTR edge).
+        """
+        if self._app_watchdog is None:
+            self._app_watchdog = self.sim.every(
+                interval_s, self._watchdog_scan
+            )
+        return self._app_watchdog
+
+    def _watchdog_scan(self) -> None:
+        for name in list(self._apps):
+            app = self._apps[name]
+            if app.state == APP_CRASHED:
+                self._emit_lifecycle(name, "crash-detected", app.status())
+                self._replace(name, dict(app.config), action="restarted")
+
+    def _replace(
+        self, name: str, config: Dict[str, object], action: str
+    ) -> App:
+        """Swap an app for a freshly constructed instance, atomically.
+
+        Stop old -> construct new -> start new.  If the new constructor
+        raises (bad config), its partial wiring is purged by app name
+        and the *old* config is revived, so a failed reload leaves the
+        app running as before the call.
+        """
+        old = self._apps[name]
+        was_running = old.state == APP_RUNNING
+        if was_running:
+            old.stop()
+        try:
+            new = type(old)(self._app_ctx, **config)
+        except Exception:
+            self.bus.unsubscribe_app(name)
+            revived = type(old)(self._app_ctx, **old.config)
+            self._apps[name] = revived
+            if was_running:
+                revived.start()
+                revived._mark_started()
+            raise
+        self._apps[name] = new
+        new.start()
+        new._mark_started()
+        self._emit_lifecycle(name, action, new.status())
+        return new
 
     @property
     def install_pipeline(self):

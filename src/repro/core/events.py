@@ -70,6 +70,7 @@ class EventKind:
     SHARD_DOWN = "shard-down"
     SHARD_REHOME = "shard-rehome"
     SESSION_HANDOFF = "session-handoff"
+    APP_LIFECYCLE = "app-lifecycle"
 
 
 #: High-churn periodic samples: compaction may collapse them to the

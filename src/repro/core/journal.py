@@ -1,0 +1,216 @@
+"""The session journal: a deployment's session history, replayable.
+
+LiveSec manages a *long-running* network, so "what happened to this
+user's sessions" must be answerable after the fact.  The journal folds
+the segmented event log's session-lifecycle records -- open
+(``flow-start``), steer, block, failover, handoff, close
+(``flow-end``) -- into one ordered ledger plus a per-session history.
+
+It works in two modes over the same folding logic:
+
+* **live** -- :meth:`SessionJournal.attach` backfills from the log's
+  retained events and then subscribes, so every future session event
+  appends as it is emitted;
+* **replay** -- :meth:`SessionJournal.replay` rebuilds the journal
+  from a saved JSONL event stream (``EventLog.save``/``stream_to``),
+  end to end.
+
+Both modes produce the identical ledger for the same event stream,
+which is what :meth:`digest` certifies: a sha256 over the canonical
+JSON form of every journal record.  Two same-seed runs -- or a live
+run and its replayed recording -- journal to equal digests; the
+``ops-smoke`` make target asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.events import EventKind, EventLog, NetworkEvent
+
+__all__ = ["JournalRecord", "SessionHistory", "SessionJournal"]
+
+#: Event-log kinds that constitute the session lifecycle, mapped to
+#: the journal's action vocabulary.
+JOURNAL_ACTIONS: Dict[str, str] = {
+    EventKind.FLOW_START: "open",
+    EventKind.FLOW_STEERED: "steer",
+    EventKind.FLOW_BLOCKED: "block",
+    EventKind.FLOW_FAILOVER: "failover",
+    EventKind.SESSION_HANDOFF: "handoff",
+    EventKind.FLOW_END: "close",
+}
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One session-lifecycle step, in deployment order.
+
+    ``detail`` carries the source event's payload minus the session id
+    (already lifted into :attr:`session`); :meth:`json_line` is the
+    canonical form the digest hashes.
+    """
+
+    time: float
+    session: int
+    action: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def json_line(self) -> str:
+        return json.dumps(
+            {
+                "time": self.time,
+                "session": self.session,
+                "action": self.action,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+
+
+@dataclass
+class SessionHistory:
+    """Everything the journal knows about one session id."""
+
+    session_id: int
+    records: List[JournalRecord] = field(default_factory=list)
+
+    @property
+    def opened_at(self) -> Optional[float]:
+        for record in self.records:
+            if record.action == "open":
+                return record.time
+        return None
+
+    @property
+    def closed_at(self) -> Optional[float]:
+        for record in reversed(self.records):
+            if record.action == "close":
+                return record.time
+        return None
+
+    @property
+    def open(self) -> bool:
+        """Still live at the end of the journaled window."""
+        return self.closed_at is None and self.opened_at is not None
+
+    def actions(self) -> List[str]:
+        return [record.action for record in self.records]
+
+
+class SessionJournal:
+    """An append-only ledger of session lifecycle steps."""
+
+    def __init__(self) -> None:
+        self._records: List[JournalRecord] = []
+        self._sessions: Dict[int, SessionHistory] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def attach(cls, log: EventLog) -> "SessionJournal":
+        """A live journal over ``log``: the retained history is folded
+        in (segments already compacted away are gone -- the journal
+        covers what the log still holds) and every future emit appends
+        through the log's subscriber hook."""
+        journal = cls()
+        for event in log:
+            journal.observe(event)
+        log.subscribe(journal.observe)
+        return journal
+
+    @classmethod
+    def replay(cls, path: str) -> "SessionJournal":
+        """Rebuild the journal from a saved JSONL event stream."""
+        journal = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                journal.observe(NetworkEvent(
+                    time=float(row["time"]),
+                    kind=str(row["kind"]),
+                    data=dict(row.get("data", {})),
+                ))
+        return journal
+
+    def observe(self, event: NetworkEvent) -> None:
+        """Fold one event-log entry; non-session kinds are ignored."""
+        action = JOURNAL_ACTIONS.get(event.kind)
+        if action is None:
+            return
+        session_id = event.data.get("session")
+        if session_id is None:
+            return
+        detail = {
+            key: value
+            for key, value in event.data.items()
+            if key != "session"
+        }
+        record = JournalRecord(
+            time=event.time,
+            session=int(session_id),
+            action=action,
+            detail=detail,
+        )
+        self._records.append(record)
+        history = self._sessions.get(record.session)
+        if history is None:
+            history = SessionHistory(session_id=record.session)
+            self._sessions[record.session] = history
+        history.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(self) -> List[JournalRecord]:
+        return list(self._records)
+
+    def session(self, session_id: int) -> Optional[SessionHistory]:
+        return self._sessions.get(session_id)
+
+    def sessions(self) -> List[SessionHistory]:
+        """Per-session histories, ordered by session id."""
+        return [self._sessions[sid] for sid in sorted(self._sessions)]
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSONL form of the ledger.
+
+        Equal for two same-seed runs and for a live journal vs. the
+        replay of that run's recording -- the stability contract the
+        ops smoke test asserts.
+        """
+        hasher = hashlib.sha256()
+        for record in self._records:
+            hasher.update(record.json_line().encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def summary(self) -> Dict[str, int]:
+        """Ledger totals by action, plus open/closed session counts."""
+        counts = {action: 0 for action in
+                  ("open", "steer", "block", "failover", "handoff",
+                   "close")}
+        for record in self._records:
+            counts[record.action] += 1
+        histories = self._sessions.values()
+        return {
+            "records": len(self._records),
+            "sessions": len(self._sessions),
+            "still_open": sum(1 for h in histories if h.open),
+            **counts,
+        }

@@ -55,6 +55,54 @@ class Session:
                 seen.append(dpid)
         return tuple(seen)
 
+    def snapshot(self) -> "SessionSnapshot":
+        """An immutable, JSON-friendly view of this session right now."""
+        return SessionSnapshot(
+            session_id=self.session_id,
+            src_mac=self.src_mac,
+            dst_mac=self.dst_mac,
+            policy=self.policy_name,
+            element_macs=tuple(self.element_macs),
+            rules=len(self.rules),
+            created_at=self.created_at,
+            blocked=self.blocked,
+            application=self.application,
+            accountable=self.path_descriptor is not None,
+        )
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A point-in-time typed view of one session (the ``repro ops``
+    contract): everything an operator needs to reason about the
+    session, nothing mutable, nothing tied to live controller objects.
+    """
+
+    session_id: int
+    src_mac: str
+    dst_mac: str
+    policy: Optional[str]
+    element_macs: Tuple[str, ...]
+    rules: int
+    created_at: float
+    blocked: bool
+    application: Optional[str]
+    accountable: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "session_id": self.session_id,
+            "src_mac": self.src_mac,
+            "dst_mac": self.dst_mac,
+            "policy": self.policy,
+            "element_macs": list(self.element_macs),
+            "rules": self.rules,
+            "created_at": self.created_at,
+            "blocked": self.blocked,
+            "application": self.application,
+            "accountable": self.accountable,
+        }
+
 
 class SessionTable:
     """Sessions indexed by either direction's 9-tuple and by cookie."""
@@ -129,6 +177,12 @@ class SessionTable:
             for session in self._by_id.values()
             if element_mac in session.element_macs
         ]
+
+    def snapshot(self) -> Tuple[SessionSnapshot, ...]:
+        """Typed snapshots of every live session, ordered by id."""
+        return tuple(
+            self._by_id[sid].snapshot() for sid in sorted(self._by_id)
+        )
 
     def sessions_of_user(self, mac: str) -> List[Session]:
         return [

@@ -409,6 +409,16 @@ class ShardMember:
         self._conntrack.clear()
         self.coordinator.member_restarted(self)
 
+    def app_status(self) -> Dict[str, str]:
+        """Per-app lifecycle state on this shard's controller, by app
+        name -- the fabric's runtime-ops surface: sharded members run
+        their own app sets, and a member can stop/reload an app while
+        its siblings keep theirs running."""
+        return {
+            name: status.state
+            for name, status in self.controller.app_status().items()
+        }
+
 
 # ----------------------------------------------------------------------
 # Coordinator
@@ -755,6 +765,9 @@ class ShardCoordinator:
                 "sessions": hello.sessions if hello else 0,
                 "nib_digest": hello.nib_digest if hello else None,
                 "last_hello": self._last_hello.get(shard_id),
+                # Runtime app lifecycle, per shard: app churn on one
+                # member is visible without asking its controller.
+                "apps": member.app_status(),
             })
         return {
             "num_shards": self.shard_map.num_shards,

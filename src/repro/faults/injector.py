@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 
 from repro.core.events import EventKind, NetworkEvent
 from repro.faults.plan import (
+    AppCrash,
     ChannelChaos,
     ElementCrash,
     ElementHang,
@@ -71,6 +72,11 @@ class FaultInjector:
         self._shard_injected_at: Dict[int, float] = {}
         self._shard_detected_at: Dict[int, float] = {}
         self._shard_pending_dpids: Dict[int, set] = {}
+        # App-crash bookkeeping, keyed by app name: detection is the
+        # watchdog's ``crash-detected`` lifecycle record, recovery its
+        # ``restarted`` one.
+        self._app_injected_at: Dict[str, float] = {}
+        self._app_detected_at: Dict[str, float] = {}
         # Raw sim-clock samples per fault kind, for the per-fault
         # TTD/TTR table the chaos CLI renders.
         self._ttd_samples: Dict[str, List[float]] = {}
@@ -93,6 +99,7 @@ class FaultInjector:
                 "element-restart", "switch-disconnect", "switch-reconnect",
                 "link-flap", "channel-chaos", "switch-compromise",
                 "switch-restore", "shard-crash", "shard-restart",
+                "app-crash",
             )
         }
         self._affected = registry.counter(
@@ -140,6 +147,16 @@ class FaultInjector:
         self._shard_time_to_recover = registry.histogram(
             "recovery.shard_time_to_recover_s",
             "Shard crash until its last switch re-homed",
+            clock=sim_clock,
+        )
+        self._app_time_to_detect = registry.histogram(
+            "recovery.app_time_to_detect_s",
+            "App crash until the watchdog's crash-detected record",
+            clock=sim_clock,
+        )
+        self._app_time_to_recover = registry.histogram(
+            "recovery.app_time_to_recover_s",
+            "App crash until the watchdog revived it",
             clock=sim_clock,
         )
         for controller in self._controllers:
@@ -196,6 +213,20 @@ class FaultInjector:
         if member is None:
             raise FaultTargetError(f"no shard {shard}")
         return member
+
+    def _app_controller(self, fault: AppCrash):
+        """The controller hosting the fault's app (a shard member's
+        when ``fault.shard`` names one), with the app name validated
+        now so a bad plan fails at arm time."""
+        if fault.shard is not None:
+            controller = self._shard_member(fault.shard).controller
+        else:
+            controller = self.net.controller
+        try:
+            controller.app(fault.app)
+        except KeyError:
+            raise FaultTargetError(f"no app named {fault.app!r}")
+        return controller
 
     def _link(self, name_a: str, name_b: str):
         node_a = self._node(name_a)
@@ -274,6 +305,14 @@ class FaultInjector:
                 member = self._shard_member(fault.shard)
                 sim.schedule_at(fault.at_s, self._crash_shard,
                                 member, fault.restart_at_s)
+            elif isinstance(fault, AppCrash):
+                controller = self._app_controller(fault)
+                # The watchdog is opt-in (an always-on scan would
+                # perturb schedules that never crash apps); a plan that
+                # crashes apps arms it so recovery can be scored.
+                controller.start_app_watchdog()
+                sim.schedule_at(fault.at_s, self._crash_app,
+                                controller, fault)
             elif isinstance(fault, SwitchCompromise):
                 switch = self._switch(fault.switch)
                 sim.schedule_at(fault.at_s, self._compromise_switch,
@@ -376,6 +415,14 @@ class FaultInjector:
         self._shard_pending_dpids.pop(shard, None)
         self._mark("shard-restart", log=self._coordinator.log, shard=shard)
 
+    def _crash_app(self, controller, fault: AppCrash) -> None:
+        controller.crash_app(fault.app)
+        self._app_injected_at[fault.app] = self.net.sim.now
+        data = {"app": fault.app}
+        if fault.shard is not None:
+            data["shard"] = fault.shard
+        self._mark("app-crash", log=controller.log, **data)
+
     def _compromise_switch(self, switch, fault) -> None:
         switch.compromise(fault.variant, port=fault.port)
         self._switch_injected_at[switch.dpid] = self.net.sim.now
@@ -458,6 +505,24 @@ class FaultInjector:
             self._acct_time_to_detect.observe(event.time - injected)
             self._sample(self._ttd_samples, "switch-compromise",
                          event.time - injected)
+        elif event.kind == EventKind.APP_LIFECYCLE:
+            app = event.data.get("app")
+            injected = self._app_injected_at.get(app)
+            if injected is None:
+                return
+            action = event.data.get("action")
+            if (action == "crash-detected"
+                    and app not in self._app_detected_at):
+                self._app_detected_at[app] = event.time
+                self._app_time_to_detect.observe(event.time - injected)
+                self._sample(self._ttd_samples, "app-crash",
+                             event.time - injected)
+            elif action == "restarted":
+                self._app_time_to_recover.observe(event.time - injected)
+                self._sample(self._ttr_samples, "app-crash",
+                             event.time - injected)
+                self._app_injected_at.pop(app, None)
+                self._app_detected_at.pop(app, None)
         elif event.kind == EventKind.SHARD_DOWN:
             shard = event.data.get("shard")
             injected = self._shard_injected_at.get(shard)

@@ -113,6 +113,23 @@ class ShardCrash:
 
 
 @dataclass(frozen=True)
+class AppCrash:
+    """A controller app crashes in place: its bus subscriptions and
+    periodic timers vanish silently (no lifecycle event -- a real
+    crash announces nothing).  The controller's app watchdog, armed
+    automatically when a plan carries this fault, detects the crashed
+    state on its next scan and revives the app from its recorded
+    config; detection and recovery are scored as TTD/TTR like element
+    and shard faults."""
+
+    at_s: float
+    app: str  # app name, e.g. "steering"
+    shard: Optional[int] = None  # sharded runs: which member's app
+
+    kind = "app-crash"
+
+
+@dataclass(frozen=True)
 class SwitchCompromise:
     at_s: float
     switch: str  # switch name
@@ -219,6 +236,15 @@ class FaultPlan:
         if restart_at_s is not None and restart_at_s <= at_s:
             raise ValueError("restart must come after the crash")
         return self._add(ShardCrash(at_s, shard, restart_at_s))
+
+    def app_crash(
+        self, at_s: float, app: str, shard: Optional[int] = None,
+    ) -> "FaultPlan":
+        if not app:
+            raise ValueError("app name must be non-empty")
+        if shard is not None and shard < 0:
+            raise ValueError(f"shard id must be >= 0 (got {shard})")
+        return self._add(AppCrash(at_s, app, shard))
 
     def switch_compromise(
         self, at_s: float, switch: str,

@@ -107,3 +107,161 @@ class TestMetrics:
             "bus.events_published", event="DataPacketIn"
         ).value == 2
         assert snap.get("bus.events_published", event="ArpIn").value == 1
+
+
+class TestUnsubscribeDuringPublish:
+    """A handler that unsubscribes mid-publish must neither skip nor
+    double-dispatch the remaining subscribers of that same publish."""
+
+    @staticmethod
+    def _event():
+        return DataPacketIn(packet_in=None)
+
+    def test_self_unsubscribe_still_runs_remaining(self):
+        bus = EventBus()
+        calls = []
+        unsubs = {}
+
+        def make(name, self_unsubscribe=False):
+            def handler(event):
+                calls.append(name)
+                if self_unsubscribe:
+                    unsubs[name]()
+            return handler
+
+        unsubs["a"] = bus.subscribe(DataPacketIn, make("a"), app="a")
+        unsubs["b"] = bus.subscribe(
+            DataPacketIn, make("b", self_unsubscribe=True), app="b")
+        unsubs["c"] = bus.subscribe(DataPacketIn, make("c"), app="c")
+        assert bus.publish(self._event()) == 3
+        assert calls == ["a", "b", "c"]
+        calls.clear()
+        assert bus.publish(self._event()) == 2
+        assert calls == ["a", "c"]
+
+    def test_unsubscribing_a_later_handler_skips_it_once(self):
+        bus = EventBus()
+        calls = []
+        unsubs = {}
+
+        def first(event):
+            calls.append("first")
+            unsubs["last"]()
+
+        unsubs["first"] = bus.subscribe(DataPacketIn, first, app="first")
+        unsubs["mid"] = bus.subscribe(
+            DataPacketIn, lambda e: calls.append("mid"), app="mid")
+        unsubs["last"] = bus.subscribe(
+            DataPacketIn, lambda e: calls.append("last"), app="last")
+        assert bus.publish(self._event()) == 2
+        assert calls == ["first", "mid"]
+
+    def test_unsubscribing_an_earlier_handler_does_not_redispatch(self):
+        bus = EventBus()
+        calls = []
+        unsubs = {}
+
+        def last(event):
+            calls.append("last")
+            unsubs["first"]()
+
+        unsubs["first"] = bus.subscribe(
+            DataPacketIn, lambda e: calls.append("first"), app="first")
+        unsubs["mid"] = bus.subscribe(
+            DataPacketIn, lambda e: calls.append("mid"), app="mid")
+        unsubs["last"] = bus.subscribe(DataPacketIn, last, app="last")
+        assert bus.publish(self._event()) == 3
+        assert calls == ["first", "mid", "last"]
+        calls.clear()
+        bus.publish(self._event())
+        assert calls == ["mid", "last"]
+
+    def test_handler_subscribed_during_publish_waits_a_round(self):
+        bus = EventBus()
+        calls = []
+
+        def recruiter(event):
+            calls.append("recruiter")
+            bus.subscribe(
+                DataPacketIn, lambda e: calls.append("recruit"),
+                app="recruit")
+
+        bus.subscribe(DataPacketIn, recruiter, app="recruiter")
+        assert bus.publish(self._event()) == 1
+        assert calls == ["recruiter"]
+        calls.clear()
+        assert bus.publish(self._event()) == 2
+        assert calls == ["recruiter", "recruit"]
+
+    def test_unsubscribe_app_purges_every_edge(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(DataPacketIn, lambda e: calls.append("x1"), app="x")
+        bus.subscribe(ArpIn, lambda e: calls.append("x2"), app="x")
+        bus.subscribe(DataPacketIn, lambda e: calls.append("y"), app="y")
+        assert bus.unsubscribe_app("x") == 2
+        assert bus.publish(self._event()) == 1
+        bus.publish(ArpIn(packet_in=None, arp=None))
+        assert calls == ["y"]
+        assert bus.unsubscribe_app("x") == 0
+
+    def test_property_randomized_interleavings(self):
+        # Property test: across randomized subscribe/unsubscribe actions
+        # performed *inside* handlers, every publish satisfies the
+        # dispatch contract:
+        #   1. no handler runs twice in one publish;
+        #   2. a handler live at publish start runs unless unsubscribed
+        #      earlier in that same publish;
+        #   3. nothing runs after its own unsubscription;
+        #   4. handlers subscribed during a publish sit that one out.
+        import random
+
+        for seed in range(30):
+            rng = random.Random(seed)
+            bus = EventBus()
+            unsubs = {}   # name -> (unsubscribe, live?)
+            counter = [0]
+            trace = []
+
+            def add_handler(name):
+                def handler(event, _name=name):
+                    trace.append(("run", _name))
+                    roll = rng.random()
+                    if roll < 0.3 and unsubs:
+                        victim = rng.choice(sorted(unsubs))
+                        unsubs.pop(victim)()
+                        trace.append(("unsub", victim))
+                    elif roll < 0.5:
+                        counter[0] += 1
+                        add_handler(f"h{counter[0]}")
+                unsubs[name] = bus.subscribe(
+                    DataPacketIn, handler, app=name)
+
+            for _ in range(rng.randint(2, 6)):
+                counter[0] += 1
+                add_handler(f"h{counter[0]}")
+
+            for _ in range(8):
+                live_at_start = set(unsubs)
+                trace.clear()
+                bus.publish(self._event())
+                ran = [name for op, name in trace if op == "run"]
+                removed_at = {
+                    name: i for i, (op, name) in enumerate(trace)
+                    if op == "unsub"
+                }
+                # (1) exactly-once per publish
+                assert len(ran) == len(set(ran)), (seed, trace)
+                for name in live_at_start:
+                    if name not in removed_at:
+                        # (2) survivors all ran
+                        assert name in ran, (seed, name, trace)
+                for i, (op, name) in enumerate(trace):
+                    if op == "run":
+                        # (3) never dispatched after removal
+                        assert removed_at.get(name, i) >= i, \
+                            (seed, name, trace)
+                        # (4) only start-snapshot handlers ran
+                        assert name in live_at_start, (seed, name, trace)
+                if not unsubs:
+                    break

@@ -170,3 +170,86 @@ class TestAppsCommand:
         out = capsys.readouterr().out
         assert "steering" in out
         assert "DataPacketIn" in out
+
+
+class TestOpsCommand:
+    def test_ops_status_lists_running_apps(self, capsys):
+        assert main(["ops", "--seconds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor" in out
+        assert "running" in out
+        assert "journal digest " in out
+
+    def test_ops_cycle_records_and_replays(self, tmp_path, capsys):
+        import re
+
+        path = str(tmp_path / "ops.jsonl")
+        assert main(["ops", "--action", "cycle", "--seconds", "3",
+                     "--record", path]) == 0
+        out = capsys.readouterr().out
+        assert "ops: stopped 'monitor'" in out
+        assert "ops: reloaded 'monitor'" in out
+        assert "ops: started 'monitor'" in out
+        assert "(replay digest matches)" in out
+        digest = re.search(r"journal digest ([0-9a-f]{64})", out).group(1)
+
+        # Same-seed second run: the journal digest is reproducible.
+        assert main(["ops", "--action", "cycle", "--seconds", "3"]) == 0
+        second = capsys.readouterr().out
+        assert re.search(
+            r"journal digest ([0-9a-f]{64})", second).group(1) == digest
+
+    def test_ops_reload_same_config_is_skipped(self, capsys):
+        assert main(["ops", "--action", "reload", "--app", "steering",
+                     "--seconds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped (same config)" in out
+
+    def test_ops_json_format(self, capsys):
+        import json
+
+        assert main(["ops", "--action", "stop", "--seconds", "2",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {app["name"]: app for app in payload["apps"]}
+        assert by_name["monitor"]["state"] == "stopped"
+        assert payload["journal"]["sessions"] > 0
+        assert len(payload["journal_digest"]) == 64
+
+
+class TestJournalCommand:
+    @pytest.fixture()
+    def recording(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.jsonl")
+        assert main(["ops", "--action", "cycle", "--seconds", "3",
+                     "--record", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_journal_summarizes_sessions(self, recording, capsys):
+        assert main(["journal", recording]) == 0
+        out = capsys.readouterr().out
+        assert "session" in out
+        assert "journal digest " in out
+
+    def test_journal_digest_only(self, recording, capsys):
+        assert main(["journal", recording, "--digest-only"]) == 0
+        out = capsys.readouterr().out
+        assert "journal digest " in out
+
+    def test_journal_single_session_detail(self, recording, capsys):
+        assert main(["journal", recording, "--session", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "open" in out
+
+    def test_journal_missing_session_fails(self, recording, capsys):
+        assert main(["journal", recording, "--session", "999"]) == 1
+
+    def test_journal_json_format(self, recording, capsys):
+        import json
+
+        assert main(["journal", recording, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["sessions"] > 0
+        assert payload["records"]
+        assert len(payload["digest"]) == 64

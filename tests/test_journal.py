@@ -1,0 +1,158 @@
+"""Tests for the session journal (repro.core.journal).
+
+The journal folds the session-lifecycle kinds of the segmented event
+log -- flow start/steer/block/failover, handoff, flow end -- into an
+append-only per-session ledger with a stable digest.  A journal
+attached live to a running deployment and a journal replayed from the
+saved JSONL log must agree record for record.
+"""
+
+
+from repro.core.deployment import build_livesec_network
+from repro.core.events import EventKind, NetworkEvent
+from repro.core.journal import (
+    JOURNAL_ACTIONS,
+    JournalRecord,
+    SessionJournal,
+)
+from repro.faults.scenarios import GATEWAY_IP, chaos_policy_table
+from repro.workloads import CbrUdpFlow
+
+
+def build_net(**kwargs):
+    kwargs.setdefault("num_as", 2)
+    kwargs.setdefault("hosts_per_as", 1)
+    return build_livesec_network(
+        topology="linear",
+        policies=chaos_policy_table("open"),
+        elements=[("ids", 2)],
+        element_timeout_s=1.5,
+        dispatcher="polling",
+        **kwargs,
+    )
+
+
+def run_with_traffic(net, duration_s=2.0, settle_s=7.0):
+    net.start()
+    hosts = [h for h in net.topology.hosts if h is not net.topology.gateway]
+    for host in hosts:
+        CbrUdpFlow(net.sim, host, GATEWAY_IP,
+                   rate_bps=2e6, duration_s=duration_s).start()
+    net.run(duration_s + settle_s)  # let idle timeout close the sessions
+
+
+class TestObserve:
+    def test_ignores_non_session_kinds(self):
+        journal = SessionJournal()
+        journal.observe(NetworkEvent(1.0, EventKind.LINK_LOAD,
+                                     {"bps": 1e6}))
+        journal.observe(NetworkEvent(1.0, EventKind.APP_LIFECYCLE,
+                                     {"app": "monitor",
+                                      "action": "stopped"}))
+        assert len(journal) == 0
+
+    def test_ignores_session_kind_without_session_id(self):
+        journal = SessionJournal()
+        journal.observe(NetworkEvent(1.0, EventKind.FLOW_START, {}))
+        assert len(journal) == 0
+
+    def test_folds_kind_into_action(self):
+        journal = SessionJournal()
+        journal.observe(NetworkEvent(
+            1.0, EventKind.FLOW_START, {"session": 4, "policy": "p"}))
+        journal.observe(NetworkEvent(
+            2.5, EventKind.FLOW_END, {"session": 4, "reason": "idle"}))
+        records = journal.records()
+        assert [r.action for r in records] == ["open", "close"]
+        assert records[0].session == 4
+        assert records[0].detail == {"policy": "p"}  # session key lifted
+        history = journal.session(4)
+        assert history.opened_at == 1.0
+        assert history.closed_at == 2.5
+        assert not history.open
+
+    def test_action_vocabulary_covers_all_session_kinds(self):
+        assert JOURNAL_ACTIONS == {
+            EventKind.FLOW_START: "open",
+            EventKind.FLOW_STEERED: "steer",
+            EventKind.FLOW_BLOCKED: "block",
+            EventKind.FLOW_FAILOVER: "failover",
+            EventKind.SESSION_HANDOFF: "handoff",
+            EventKind.FLOW_END: "close",
+        }
+
+    def test_handoff_only_session_has_no_opened_at(self):
+        journal = SessionJournal()
+        journal.observe(NetworkEvent(
+            3.0, EventKind.SESSION_HANDOFF, {"session": 9}))
+        history = journal.session(9)
+        assert history.opened_at is None
+        assert history.closed_at is None
+        assert not history.open  # never seen opening: not "still open"
+
+
+class TestRecord:
+    def test_json_line_is_canonical(self):
+        record = JournalRecord(
+            time=1.5, session=2, action="open", detail={"b": 1, "a": 2})
+        line = record.json_line()
+        assert line == (
+            '{"action":"open","detail":{"a":2,"b":1},'
+            '"session":2,"time":1.5}'
+        )
+
+
+class TestLiveAndReplay:
+    def test_attach_backfills_existing_log(self):
+        net = build_net()
+        run_with_traffic(net)
+        journal = SessionJournal.attach(net.controller.log)
+        assert len(journal) > 0
+        summary = journal.summary()
+        assert summary["sessions"] >= 2
+        assert summary["open"] == summary["sessions"]
+        assert summary["close"] == summary["sessions"]
+        assert summary["still_open"] == 0
+
+    def test_live_attach_equals_backfill_attach(self):
+        net_a = build_net()
+        live = SessionJournal.attach(net_a.controller.log)  # before traffic
+        run_with_traffic(net_a)
+
+        net_b = build_net()
+        run_with_traffic(net_b)
+        backfilled = SessionJournal.attach(net_b.controller.log)
+
+        assert live.digest() == backfilled.digest()
+        assert len(live) == len(backfilled)
+
+    def test_replay_from_saved_log_matches_live_digest(self, tmp_path):
+        net = build_net()
+        live = SessionJournal.attach(net.controller.log)
+        run_with_traffic(net)
+        path = str(tmp_path / "events.jsonl")
+        net.controller.log.save(path)
+        replayed = SessionJournal.replay(path)
+        assert replayed.digest() == live.digest()
+        assert [r.json_line() for r in replayed] == \
+            [r.json_line() for r in live]
+
+    def test_two_same_seed_runs_share_a_digest(self):
+        digests = []
+        for _ in range(2):
+            net = build_net()
+            journal = SessionJournal.attach(net.controller.log)
+            run_with_traffic(net)
+            digests.append(journal.digest())
+        assert digests[0] == digests[1]
+
+    def test_sessions_sorted_and_lookup(self):
+        net = build_net()
+        run_with_traffic(net)
+        journal = SessionJournal.attach(net.controller.log)
+        histories = journal.sessions()
+        ids = [h.session_id for h in histories]
+        assert ids == sorted(ids)
+        assert journal.session(ids[0]) is histories[0]
+        assert journal.session(10**9) is None
+        assert "open" in histories[0].actions()
